@@ -1,0 +1,40 @@
+"""Figure 3: runtime ratio of the unified API to MAGMA and SLATE.
+
+Regenerates the ratio curves up to 32768 on the Figure 3 devices and
+asserts the paper's headline claims: the unified function beats SLATE at
+every size and passes MAGMA between 1024 and 2048.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import ratios
+
+
+def test_fig3_regenerates(benchmark):
+    curves = benchmark(ratios.fig3_curves)
+    save_result(
+        "fig3_magma_slate",
+        ratios.render_curves(curves, "Figure 3: unified vs MAGMA / SLATE"),
+    )
+    by = {(c.backend, c.library): c for c in curves}
+
+    # SLATE: unified faster at every size on every device (paper)
+    for be in ratios.FIG3_DEVICES:
+        c = by[(be, "slate")]
+        assert all(r > 1.0 for r in c.ratios), be
+
+    # SLATE catastrophic on the consumer laptop (paper geomean ~280x)
+    assert by[("rtx4060", "slate")].geomean > 50.0
+    assert by[("rtx4060", "slate")].geomean > 10 * by[("h100", "slate")].geomean
+
+    # MAGMA: slower than unified above ~2048, competitive below (crossover)
+    for be in ("h100", "a100", "mi250"):
+        c = by[(be, "magma")]
+        small = c.ratios[c.sizes.index(512)]
+        large = c.ratios[c.sizes.index(8192)]
+        assert small < 1.2, be
+        assert large > 1.0, be
+
+    # at 32k the unified advantage over MAGMA is multiple-x (paper: up to 9.3)
+    assert by[("h100", "magma")].ratios[-1] > 3.0

@@ -1,0 +1,47 @@
+"""Figure 4: runtime ratio of the unified API to the vendor libraries.
+
+Regenerates the cuSOLVER / rocSOLVER / oneMKL comparisons up to 16384 (the
+64-bit addressing limit the paper cites) and asserts the reported shape:
+cuSOLVER ahead on H100/A100 (unified at 50-90%), unified ahead on the
+consumer RTX4060 at scale, rocSOLVER behind everywhere, oneMKL crossover
+past 2048.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import ratios
+
+
+def test_fig4_regenerates(benchmark):
+    curves = benchmark(ratios.fig4_curves)
+    save_result(
+        "fig4_vendor",
+        ratios.render_curves(curves, "Figure 4: unified vs vendor libraries"),
+    )
+    by = {(c.backend, c.library): c for c in curves}
+
+    # vendor charts stop at 16384 (addressing limitation)
+    for c in curves:
+        assert max(c.sizes) <= 16384
+
+    # H100/A100: cuSOLVER ahead at every size; unified within 40-100%
+    for be in ("h100", "a100"):
+        c = by[(be, "cusolver")]
+        assert all(r <= 1.0 for r in c.ratios), be
+        assert all(r >= 0.35 for r in c.ratios), be
+
+    # consumer RTX4060: unified ahead at large sizes
+    c = by[("rtx4060", "cusolver")]
+    for n in (8192, 16384):
+        assert c.ratios[c.sizes.index(n)] > 1.0
+
+    # MI250: unified beats rocSOLVER at every size (paper geomean 5.9)
+    c = by[("mi250", "rocsolver")]
+    assert all(r > 1.0 for r in c.ratios)
+    assert c.geomean > 2.5
+
+    # PVC: oneMKL wins small, unified wins past the crossover
+    c = by[("pvc", "onemkl")]
+    assert c.ratios[c.sizes.index(512)] < 1.0
+    assert c.ratios[c.sizes.index(16384)] > 1.0

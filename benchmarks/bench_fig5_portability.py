@@ -1,0 +1,45 @@
+"""Figure 5: portability of the unified function across hardware/precision.
+
+Regenerates the runtime curves (tuned hyperparameters per hardware and
+precision) and asserts the support/capacity structure the paper plots:
+FP16==FP32 speed on NVIDIA with doubled reach (131k), AMD FP16 and Metal
+FP64 gaps, and capacity-limited curve ends.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import fig5
+
+
+def test_fig5_regenerates(benchmark):
+    series = benchmark(fig5.run)
+    save_result("fig5_portability", fig5.render(series))
+    by = {(s.backend, s.precision): s for s in series}
+
+    # support gaps (Figure 5 captions)
+    assert not by[("mi250", "fp16")].supported
+    assert not by[("m1pro", "fp64")].supported
+
+    # H100 FP16 reaches 131072; FP32 and FP64 do not
+    assert 131072 in by[("h100", "fp16")].sizes
+    assert 131072 not in by[("h100", "fp32")].sizes
+    assert 131072 not in by[("h100", "fp64")].sizes
+
+    # FP16 and FP32 nearly identical on NVIDIA (upcast to FP32 pipeline)
+    h16, h32 = by[("h100", "fp16")], by[("h100", "fp32")]
+    for n, t16 in zip(h16.sizes, h16.seconds):
+        if n in h32.sizes:
+            t32 = h32.seconds[h32.sizes.index(n)]
+            assert abs(t16 - t32) <= 0.15 * t32, n
+
+    # FP64 slower than FP32 at scale on every FP64-capable device
+    for be in ("h100", "mi250", "pvc"):
+        s32, s64 = by[(be, "fp32")], by[(be, "fp64")]
+        n = 8192
+        assert s64.seconds[s64.sizes.index(n)] > s32.seconds[s32.sizes.index(n)]
+
+    # runtime curves are increasing in n
+    for s in series:
+        if s.supported and len(s.seconds) > 1:
+            assert all(a < b for a, b in zip(s.seconds, s.seconds[1:]))

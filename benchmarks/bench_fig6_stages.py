@@ -1,0 +1,40 @@
+"""Figure 6: relative runtime of the computational stages.
+
+Regenerates the stage breakdown per device/size and asserts the paper's
+two observations: stage 1 grows in relative weight with matrix size, and
+the trailing-update-to-panel ratio climbs (steeply on the 24-SM RTX4060
+between 8k and 32k, once full occupancy is exceeded).
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import fig6
+
+
+def test_fig6_regenerates(benchmark):
+    rows = benchmark(fig6.run)
+    save_result("fig6_stages", fig6.render(rows))
+    by = {(r.backend, r.n): r for r in rows}
+
+    for be in fig6.FIG6_DEVICES:
+        # stage 1 share grows from small to large sizes
+        assert by[(be, 16384)].stage1 > by[(be, 512)].stage1, be
+        # trailing/panel ratio grows with size
+        assert (
+            by[(be, 32768)].update_to_panel > by[(be, 2048)].update_to_panel
+        ), be
+
+    # RTX4060: steep growth between 8k and 32k (few SMs saturate early)
+    rtx_growth = (
+        by[("rtx4060", 32768)].update_to_panel
+        / by[("rtx4060", 8192)].update_to_panel
+    )
+    h100_growth = (
+        by[("h100", 32768)].update_to_panel / by[("h100", 8192)].update_to_panel
+    )
+    assert rtx_growth > h100_growth
+
+    # shares always sum to one
+    for r in rows:
+        assert abs(r.panel + r.update + r.brd + r.solve - 1.0) < 1e-9

@@ -1,0 +1,40 @@
+"""Table 3: hyperparameter sensitivity of the unified kernels.
+
+Regenerates both parameter studies over the paper's size grid, asserts the
+sign pattern the paper reports, and benchmarks the analytic sweep itself.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import table3
+
+
+def _index(cells):
+    return {(c.study, c.backend, c.precision, c.n): c.delta_pct for c in cells}
+
+
+def test_table3_regenerates(benchmark):
+    cells = benchmark(table3.run)
+    save_result("table3_hyperparams", table3.render(cells))
+    d = _index(cells)
+
+    # TILESIZE 64->32: positive (32 wins) at small sizes everywhere
+    for be, pr in table3.CONFIGS:
+        assert d[("tilesize", be, pr, 512)] > 0
+        assert d[("tilesize", be, pr, 2048)] > 0
+    # ... negative (64 wins) at 32k except MI250 FP64 (paper Table 3)
+    assert d[("tilesize", "h100", "fp32", 32768)] < 0
+    assert d[("tilesize", "h100", "fp64", 32768)] < 0
+    assert d[("tilesize", "mi250", "fp32", 32768)] < 0
+    assert d[("tilesize", "mi250", "fp64", 32768)] > 0
+
+    # COLPERBLOCK 32->16: near-zero at 128, increasingly negative at 32k,
+    # worst on the AMD wavefronts
+    for be, pr in table3.CONFIGS:
+        assert abs(d[("colperblock", be, pr, 128)]) < 3.0
+        assert d[("colperblock", be, pr, 32768)] < -3.0
+    assert (
+        d[("colperblock", "mi250", "fp32", 32768)]
+        < d[("colperblock", "h100", "fp32", 32768)]
+    )

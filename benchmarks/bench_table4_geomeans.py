@@ -1,0 +1,43 @@
+"""Table 4: geometric means of the runtime ratios (with ranges).
+
+Aggregates the Figure 3/4 curves exactly as the paper's Table 4 does and
+asserts each entry lands in a loose band around the published value.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.experiments import ratios
+from repro.report import geomean
+
+#: Paper Table 4 geometric means and the acceptance bands of this
+#: reproduction (shape-level match; the substrate is a simulator).
+PAPER_BANDS = {
+    ("rtx4060", "vendor"): (1.5, 0.7, 4.0),
+    ("a100", "vendor"): (0.6, 0.3, 1.2),
+    ("h100", "vendor"): (0.7, 0.35, 1.2),
+    ("mi250", "vendor"): (5.9, 2.0, 12.0),
+    ("pvc", "vendor"): (0.5, 0.15, 1.5),
+    ("rtx4060", "magma"): (2.2, 1.0, 6.0),
+    ("a100", "magma"): (2.1, 0.7, 4.0),
+    ("h100", "magma"): (1.5, 0.7, 3.5),
+    ("mi250", "magma"): (1.0, 0.5, 3.0),
+    ("rtx4060", "slate"): (280.0, 60.0, 900.0),
+    ("a100", "slate"): (2.5, 1.2, 7.0),
+    ("h100", "slate"): (2.8, 1.4, 8.0),
+    ("mi250", "slate"): (3.4, 1.4, 8.0),
+}
+
+
+def test_table4_regenerates(benchmark):
+    table = benchmark(ratios.table4)
+    save_result("table4_geomeans", ratios.render_table4(table))
+
+    for (device, column), (paper, lo, hi) in PAPER_BANDS.items():
+        curve = table[device].get(column)
+        assert curve is not None, (device, column)
+        gm = curve.geomean
+        assert lo <= gm <= hi, (
+            f"{device}/{column}: geomean {gm:.2f} outside band "
+            f"[{lo}, {hi}] (paper: {paper})"
+        )

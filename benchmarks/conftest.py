@@ -1,0 +1,22 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+asserts its headline shape; ``pytest-benchmark`` times a representative
+slice of the workload.  Rendered tables are echoed to stdout (run with
+``-s`` to see them) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table next to the benchmarks and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,90 @@
+"""Capacity planning with the scaling models (paper future work).
+
+The paper's conclusion plans out-of-core execution and multi-GPU scaling;
+this example uses the reproduction's analytic extensions to answer the
+questions a user would actually ask before buying hardware:
+
+1. How large a problem fits each device per precision — and what does it
+   cost to go *beyond* device memory with host streaming?
+2. How many GPUs are worth using at a given size (Amdahl saturation from
+   the serial panel chain)?
+3. When is batching many small problems better than looping?
+
+Usage::
+
+    python examples/capacity_planning.py
+"""
+
+import repro
+from repro.core import predict_batched
+from repro.report import format_seconds, format_table
+from repro.sim import predict, predict_multi_gpu, predict_out_of_core
+
+
+def capacity_table() -> None:
+    body = []
+    for name in ("h100", "rtx4060", "mi250", "m1pro", "pvc"):
+        be = repro.resolve_backend(name)
+        row = [name, f"{be.device.mem_gb:g} GiB"]
+        for prec in ("fp16", "fp32", "fp64"):
+            row.append(str(be.max_n(prec)) if be.supports(prec) else "-")
+        body.append(row)
+    print(format_table(
+        ["device", "memory", "max n fp16", "max n fp32", "max n fp64"],
+        body, title="largest resident square matrix per device/precision",
+    ))
+
+
+def out_of_core_cliff() -> None:
+    be = repro.resolve_backend("h100")
+    cap = be.max_n("fp32")
+    body = []
+    for n in (cap // 2, cap, int(cap * 1.5), cap * 2):
+        bd = predict_out_of_core(n, "h100", "fp32")
+        mode = "in-core" if n <= cap else "streamed"
+        body.append([str(n), mode, format_seconds(bd.total_s).strip()])
+    print()
+    print(format_table(
+        ["n", "mode", "predicted time"],
+        body, title=f"H100 FP32 out-of-core cliff (capacity n={cap})",
+    ))
+
+
+def multi_gpu_scaling() -> None:
+    body = []
+    for n in (8192, 32768):
+        t1 = predict_multi_gpu(n, "h100", "fp32", 1).total_s
+        row = [str(n)]
+        for g in (1, 2, 4, 8, 16):
+            t = predict_multi_gpu(n, "h100", "fp32", g).total_s
+            row.append(f"{t1 / t:.2f}x")
+        body.append(row)
+    print()
+    print(format_table(
+        ["n", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs", "16 GPUs"],
+        body, title="multi-GPU speedup (H100 FP32): panel chain caps scaling",
+    ))
+
+
+def batching_study() -> None:
+    body = []
+    for n in (64, 128, 256, 1024):
+        batch = 64
+        seq = batch * predict(n, "h100", "fp32", check_capacity=False).total_s
+        bat = predict_batched(n, batch, "h100", "fp32").total_s
+        body.append([
+            str(n), format_seconds(seq).strip(), format_seconds(bat).strip(),
+            f"{seq / bat:.1f}x",
+        ])
+    print()
+    print(format_table(
+        ["n", "64 sequential", "64 batched", "speedup"],
+        body, title="batched SVD: the answer to the paper's small-size gap",
+    ))
+
+
+if __name__ == "__main__":
+    capacity_table()
+    out_of_core_cliff()
+    multi_gpu_scaling()
+    batching_study()

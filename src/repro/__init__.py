@@ -1,0 +1,81 @@
+"""repro: portable unified (simulated-)GPU singular value computation.
+
+Python reproduction of *"Performant Unified GPU Kernels for Portable
+Singular Value Computation Across Hardware and Precision"* (Ringoot,
+Alomairy, Churavy, Edelman - ICPP 2025).
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> A = np.random.default_rng(0).standard_normal((256, 256))
+>>> sv = repro.svdvals(A, backend="h100", precision="fp32")
+>>> sv.shape
+(256,)
+
+The unified :func:`svdvals` runs the paper's two-stage QR reduction with
+numerically real tile kernels on a simulated GPU; pass
+``return_info=True`` for simulated per-stage timing, or use
+:func:`repro.sim.predict` to price arbitrary sizes analytically.
+"""
+
+from .backends import Backend, DeviceMatrix, DeviceSpec, list_backends, resolve_backend
+from .core import (
+    SVDInfo,
+    SVDResult,
+    jacobi_svdvals,
+    predict_batched,
+    svd_full,
+    svdvals,
+    svdvals_batched,
+    svdvals_rect,
+)
+from .errors import (
+    CapacityError,
+    ConvergenceError,
+    InvalidParamsError,
+    ReproError,
+    ShapeError,
+    UnsupportedBackendError,
+    UnsupportedPrecisionError,
+)
+from .precision import Precision, resolve_precision
+from .sim import (
+    REFERENCE_PARAMS,
+    KernelParams,
+    predict,
+    predict_multi_gpu,
+    predict_out_of_core,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Backend",
+    "CapacityError",
+    "ConvergenceError",
+    "DeviceMatrix",
+    "DeviceSpec",
+    "InvalidParamsError",
+    "KernelParams",
+    "Precision",
+    "REFERENCE_PARAMS",
+    "ReproError",
+    "SVDInfo",
+    "SVDResult",
+    "ShapeError",
+    "UnsupportedBackendError",
+    "UnsupportedPrecisionError",
+    "__version__",
+    "list_backends",
+    "predict",
+    "predict_multi_gpu",
+    "predict_out_of_core",
+    "jacobi_svdvals",
+    "svd_full",
+    "svdvals_rect",
+    "svdvals_batched",
+    "predict_batched",
+    "resolve_backend",
+    "resolve_precision",
+    "svdvals",
+]

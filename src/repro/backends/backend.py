@@ -1,0 +1,164 @@
+"""Backend abstraction: the KernelAbstractions/GPUArrays analogue.
+
+A :class:`Backend` binds a :class:`~repro.backends.device.DeviceSpec` to the
+vendor-specific *behavioural* rules the paper reports:
+
+* which input precisions are supported at all (Figure 5: the Julia AMD GPU
+  stack cannot run FP16, Apple Metal has no FP64);
+* which dtype computation actually happens in (section 4.3: NVIDIA GPUs have
+  no scalar FP16 ALUs, so FP16 inputs are upcast to FP32 for computation and
+  downcast at storage time — which is why the H100 FP16 and FP32 curves
+  coincide while FP16 doubles the maximum resident matrix size);
+* how large a matrix fits in device memory (the RTX4060's 8 GB caps it at
+  32k; H100 FP16 reaches 131k).
+
+Exactly one kernel implementation exists in :mod:`repro.kernels`; backends
+never duplicate algorithm code.  This mirrors the paper's central claim: the
+unified function is specialized per device only through these parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import CapacityError, UnsupportedBackendError, UnsupportedPrecisionError
+from ..precision import Precision, PrecisionLike, resolve_precision
+from .device import DeviceSpec, Vendor, get_device, list_devices
+
+__all__ = ["Backend", "BackendLike", "resolve_backend", "list_backends"]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A simulated GPU backend (device spec + vendor behaviour rules)."""
+
+    device: DeviceSpec
+
+    # ------------------------------------------------------------------ #
+    # precision support matrix
+    # ------------------------------------------------------------------ #
+    def supported_precisions(self) -> Tuple[Precision, ...]:
+        """Precisions this backend accepts, per the paper's Figure 5 notes."""
+        vendor = self.device.vendor
+        if vendor == Vendor.NVIDIA:
+            return (Precision.FP16, Precision.FP32, Precision.FP64)
+        if vendor == Vendor.AMD:
+            # "Julia AMD GPU currently does not support conversion at
+            # calculation time for FP16" (Figure 5 caption).
+            return (Precision.FP32, Precision.FP64)
+        if vendor == Vendor.APPLE:
+            # "Apple Metal does not support FP64" (Figure 5 caption).
+            return (Precision.FP16, Precision.FP32)
+        if vendor == Vendor.INTEL:
+            # Paper shows FP32 results; oneAPI also exposes FP64 units.
+            return (Precision.FP32, Precision.FP64)
+        raise UnsupportedBackendError(f"unknown vendor {vendor!r}")
+
+    def supports(self, precision: PrecisionLike) -> bool:
+        """True if ``precision`` can be used on this backend."""
+        try:
+            prec = resolve_precision(precision)
+        except UnsupportedPrecisionError:
+            return False
+        return prec in self.supported_precisions()
+
+    def check_precision(self, precision: PrecisionLike) -> Precision:
+        """Resolve and validate a precision for this backend.
+
+        Raises
+        ------
+        UnsupportedPrecisionError
+            With a vendor-specific message matching the paper's notes.
+        """
+        prec = resolve_precision(precision)
+        if prec in self.supported_precisions():
+            return prec
+        vendor = self.device.vendor
+        detail = {
+            (Vendor.AMD, Precision.FP16): (
+                "AMD backend does not support FP16 "
+                "(no conversion at calculation time; see paper Figure 5)"
+            ),
+            (Vendor.APPLE, Precision.FP64): (
+                "Apple Metal does not support FP64 (see paper Figure 5)"
+            ),
+        }.get((vendor, prec), f"{self.name} does not support {prec.name}")
+        raise UnsupportedPrecisionError(detail)
+
+    def compute_precision(self, precision: PrecisionLike) -> Precision:
+        """Dtype arithmetic actually runs in for a given storage precision.
+
+        NVIDIA and Intel GPUs lack scalar-FP16 pipelines: FP16 is stored in
+        half precision but computed in FP32 (paper section 4.3).  Apple
+        GPUs execute scalar FP16 natively.
+        """
+        prec = self.check_precision(precision)
+        if prec is Precision.FP16 and self.device.vendor in (
+            Vendor.NVIDIA,
+            Vendor.INTEL,
+        ):
+            return Precision.FP32
+        return prec
+
+    # ------------------------------------------------------------------ #
+    # memory capacity
+    # ------------------------------------------------------------------ #
+    def max_n(self, precision: PrecisionLike) -> int:
+        """Largest square matrix order resident in this device's memory."""
+        prec = self.check_precision(precision)
+        return self.device.max_square_n(prec.sizeof)
+
+    def check_capacity(self, n: int, precision: PrecisionLike) -> None:
+        """Raise :class:`CapacityError` if an ``n x n`` matrix cannot fit."""
+        prec = self.check_precision(precision)
+        limit = self.max_n(prec)
+        if n > limit:
+            raise CapacityError(
+                f"{n}x{n} {prec.name} matrix needs "
+                f"{n * n * prec.sizeof / 2**30:.1f} GiB working set; "
+                f"{self.name} ({self.device.mem_gb} GiB) supports n <= {limit}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # conveniences
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable backend name, e.g. ``"nvidia-h100"``."""
+        return f"{self.device.vendor}-{self.device.name}"
+
+    @property
+    def vendor(self) -> str:
+        """Vendor string (see :class:`repro.backends.device.Vendor`)."""
+        return self.device.vendor
+
+    def asarray(self, a: np.ndarray, precision: PrecisionLike) -> np.ndarray:
+        """Convert host data to this backend's storage dtype (a 'transfer')."""
+        prec = self.check_precision(precision)
+        return np.ascontiguousarray(a, dtype=prec.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Backend({self.name})"
+
+
+#: Anything accepted where a backend is expected.
+BackendLike = Union[Backend, DeviceSpec, str]
+
+
+def resolve_backend(value: BackendLike) -> Backend:
+    """Resolve a backend from a name, device spec, or Backend instance."""
+    if isinstance(value, Backend):
+        return value
+    if isinstance(value, DeviceSpec):
+        return Backend(value)
+    if isinstance(value, str):
+        return Backend(get_device(value))
+    raise UnsupportedBackendError(f"cannot interpret {value!r} as a backend")
+
+
+def list_backends() -> Tuple[Backend, ...]:
+    """One backend per registered device, in Table 2 order."""
+    return tuple(Backend(spec) for spec in list_devices())

@@ -1,0 +1,141 @@
+"""Device-resident matrix abstraction (the GPUArrays analogue).
+
+:class:`DeviceMatrix` wraps a NumPy array that plays the role of GPU global
+memory.  It enforces three semantics the paper relies on:
+
+* **storage vs compute dtype** — data lives in the storage precision
+  (possibly FP16) while kernels run in the backend's compute precision;
+  conversions happen at load/store boundaries, exactly like the paper's
+  "upcast during computation, downcast at storage time" description;
+* **capacity** — allocation checks the simulated device memory budget;
+* **lazy transpose** — :meth:`DeviceMatrix.T` returns a zero-copy strided
+  view, matching Julia's lazy transpose used to express LQ sweeps through
+  the QR kernels without data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..precision import Precision, PrecisionLike, resolve_precision
+from .backend import Backend, BackendLike, resolve_backend
+
+__all__ = ["DeviceMatrix"]
+
+
+@dataclass
+class DeviceMatrix:
+    """A square matrix resident in simulated device memory.
+
+    Parameters
+    ----------
+    data:
+        The device buffer (NumPy array in the *storage* dtype).  Use
+        :meth:`from_host` to construct with capacity checks and dtype
+        conversion.
+    backend:
+        Owning backend.
+    precision:
+        Storage precision of ``data``.
+    """
+
+    data: np.ndarray
+    backend: Backend
+    precision: Precision
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_host(
+        cls,
+        a: np.ndarray,
+        backend: BackendLike,
+        precision: Optional[PrecisionLike] = None,
+    ) -> "DeviceMatrix":
+        """Upload a host array, converting to the storage precision.
+
+        ``precision`` defaults to the array's own dtype when that is one of
+        FP16/FP32/FP64, otherwise FP64.
+        """
+        be = resolve_backend(backend)
+        if a.ndim != 2:
+            raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
+        if precision is None:
+            try:
+                prec = resolve_precision(a.dtype)
+            except Exception:
+                prec = Precision.FP64
+        else:
+            prec = resolve_precision(precision)
+        prec = be.check_precision(prec)
+        be.check_capacity(max(a.shape), prec)
+        buf = np.array(a, dtype=prec.dtype, copy=True, order="C")
+        return cls(data=buf, backend=be, precision=prec)
+
+    # ------------------------------------------------------------------ #
+    # views and shape
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        """Matrix shape."""
+        return self.data.shape
+
+    @property
+    def n(self) -> int:
+        """Matrix order (square matrices)."""
+        return self.data.shape[0]
+
+    @property
+    def T(self) -> "DeviceMatrix":
+        """Lazy transpose: a zero-copy strided view of the same buffer."""
+        return DeviceMatrix(self.data.T, self.backend, self.precision)
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Dtype kernels run in on this backend for this storage precision."""
+        return self.backend.compute_precision(self.precision).dtype
+
+    # ------------------------------------------------------------------ #
+    # transfers
+    # ------------------------------------------------------------------ #
+    def to_host(self, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """Download to host memory (copy), optionally converting dtype."""
+        out = np.array(self.data, copy=True)
+        if dtype is not None:
+            out = out.astype(dtype)
+        return out
+
+    def load_compute(self) -> np.ndarray:
+        """Read the buffer in compute precision.
+
+        When storage and compute dtypes coincide this is a *view* (no
+        copy); otherwise it is an upcast copy, mirroring the load-time
+        conversion a real FP16-on-FP32-ALUs kernel performs.
+        """
+        cdt = self.compute_dtype
+        if self.data.dtype == cdt:
+            return self.data
+        return self.data.astype(cdt)
+
+    def store_compute(self, values: np.ndarray) -> None:
+        """Write compute-precision values back through the storage dtype."""
+        if values.shape != self.data.shape:
+            raise ShapeError(
+                f"store shape {values.shape} != buffer shape {self.data.shape}"
+            )
+        self.data[...] = values.astype(self.data.dtype)
+
+    def nbytes(self) -> int:
+        """Storage footprint in bytes."""
+        return self.data.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceMatrix(n={self.n}, precision={self.precision.name}, "
+            f"backend={self.backend.name})"
+        )

@@ -1,0 +1,45 @@
+"""Simulated comparator libraries (paper sections 4.1 / Figures 3-4)."""
+
+from typing import Dict
+
+from .base import BaselineLibrary, svd_flops
+from .hpc import Magma, Slate
+from .lapack_cpu import LapackCPU
+from .vendor import CuSolver, OneMKL, RocSolver
+
+_LIBRARIES: Dict[str, BaselineLibrary] = {
+    lib.name: lib
+    for lib in (CuSolver(), RocSolver(), OneMKL(), Magma(), Slate(), LapackCPU())
+}
+
+
+def get_baseline(name: str) -> BaselineLibrary:
+    """Look up a baseline library by name (``"cusolver"``, ``"magma"``, ...)."""
+    key = name.strip().lower()
+    if key not in _LIBRARIES:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {', '.join(sorted(_LIBRARIES))}"
+        )
+    return _LIBRARIES[key]
+
+
+def vendor_baseline_for(vendor: str) -> BaselineLibrary:
+    """The vendor-native solver for a vendor string (Figure 4 pairing)."""
+    mapping = {"nvidia": "cusolver", "amd": "rocsolver", "intel": "onemkl"}
+    if vendor not in mapping:
+        raise KeyError(f"no vendor library for {vendor!r} (Apple has none)")
+    return get_baseline(mapping[vendor])
+
+
+__all__ = [
+    "BaselineLibrary",
+    "CuSolver",
+    "LapackCPU",
+    "Magma",
+    "OneMKL",
+    "RocSolver",
+    "Slate",
+    "get_baseline",
+    "svd_flops",
+    "vendor_baseline_for",
+]

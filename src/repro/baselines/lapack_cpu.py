@@ -1,0 +1,33 @@
+"""CPU LAPACK baseline (reference numerics and a host-only timing model).
+
+Used as the accuracy oracle throughout the test suite and as the "CPU
+library" the paper's stage 3 delegates to.  The timing model is a simple
+host-throughput estimate - the paper does not benchmark CPU LAPACK, but
+examples use this baseline to illustrate why GPU offload matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backends.backend import BackendLike
+from ..precision import PrecisionLike, Precision
+from .base import BaselineLibrary, svd_flops
+
+__all__ = ["LapackCPU"]
+
+
+class LapackCPU(BaselineLibrary):
+    """Host LAPACK ``gesdd`` (singular values only)."""
+
+    name = "lapack"
+    vendors = ()  # host library: any system
+    max_n = None
+    precisions = (Precision.FP32, Precision.FP64)
+
+    cpu_gflops = 55.0
+    t0 = 5.0e-5
+
+    def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        self.check(n, backend, precision)
+        return self.t0 + svd_flops(n) / (self.cpu_gflops * 1e9)

@@ -1,0 +1,136 @@
+"""Vendor-library performance models: cuSOLVER, rocSOLVER, oneMKL.
+
+Each model is an architecture sketch of the real library priced on the
+Table 2 device specs:
+
+* **cuSOLVER** (``cusolverDnXgesvd``): GPU-resident and highly tuned, with
+  a compute path that saturates only near its design size and a blocked
+  reduction whose memory traffic (~``0.17 n^3 sizeof``) becomes the binder
+  on bandwidth-poor devices.  On the 24-SM, 272 GB/s RTX4060 that traffic
+  is what lets the unified kernels win (paper Figure 4), while on H100 and
+  A100 cuSOLVER stays 10-50% ahead.
+* **rocSOLVER** (``rocsolver_Xgesvd``): one-stage Householder
+  bidiagonalization (``gebrd``) dominated by BLAS2 trailing updates -
+  bandwidth bound with ``~0.5 n^3 sizeof`` traffic - plus large fixed
+  setup costs.  This is why the paper's two-stage unified kernels beat it
+  at *every* size on MI250 (geometric mean 5.9x).
+* **oneMKL** (``oneapi::mkl::lapack::gesvd``): a strong CPU path serves
+  small sizes (it beats the under-occupied unified kernels there), while
+  the GPU path's one-stage reduction is bandwidth-bound at scale - the
+  paper's crossover beyond 2048 on Ponte Vecchio.
+
+Both NVIDIA and AMD vendor solvers stop at 16384 (64-bit addressing gaps
+cited in section 4.1).
+"""
+
+from __future__ import annotations
+
+from ..backends.backend import BackendLike
+from ..backends.device import Vendor
+from ..precision import PrecisionLike
+from .base import BaselineLibrary, svd_flops
+
+__all__ = ["CuSolver", "RocSolver", "OneMKL"]
+
+
+class CuSolver(BaselineLibrary):
+    """NVIDIA cuSOLVER ``gesvd`` (singular values only) model."""
+
+    name = "cusolver"
+    vendors = (Vendor.NVIDIA,)
+    max_n = 16384
+
+    #: Achieved fraction of peak FLOPS at the design size.
+    peak_eff = 0.5
+    #: Saturation size on the reference (H100-class) part; smaller devices
+    #: saturate proportionally earlier.  Ramp exponent below.
+    n_sat_ref = 16384.0
+    peak_ref_tflops = 67.0
+    ramp_exp = 1.4
+    #: Blocked-reduction memory traffic per element^3 (bytes/flop-ish).
+    traffic = 0.17
+    #: Fixed setup cost: datacenter driver vs consumer (WDDM-class) stack.
+    t0_hpc = 2.0e-4
+    t0_consumer = 5.0e-4
+
+    def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        be, prec = self.check(n, backend, precision)
+        spec = be.device
+        n_sat = self.n_sat_ref * (
+            spec.peak_fp32_tflops / self.peak_ref_tflops
+        ) ** 0.5
+        ramp = min(1.0, (n / n_sat) ** self.ramp_exp)
+        eff = self.peak_eff * max(ramp, 1e-4)
+        t_compute = svd_flops(n) / (spec.peak_flops(prec.sizeof) * eff)
+        t_mem = self.traffic * float(n) ** 3 * prec.sizeof / spec.bandwidth_bytes
+        t0 = self.t0_hpc if spec.is_hpc else self.t0_consumer
+        return t0 + max(t_compute, t_mem)
+
+
+class RocSolver(BaselineLibrary):
+    """AMD rocSOLVER ``gesvd`` model (one-stage ``gebrd``)."""
+
+    name = "rocsolver"
+    vendors = (Vendor.AMD,)
+    max_n = 16384
+
+    #: Fraction of the one-stage reduction streaming the trailing matrix.
+    blas2_fraction = 0.5
+    #: Achieved bandwidth fraction of those BLAS2 sweeps.
+    mem_eff = 0.28
+    #: Achieved compute efficiency of the BLAS3-ish remainder.
+    peak_eff = 0.30
+    #: Setup cost (workspace + many small kernels at every panel step).
+    t0 = 8.0e-3
+
+    def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        be, prec = self.check(n, backend, precision)
+        spec = be.device
+        flops = svd_flops(n)
+        t_blas2 = (
+            self.blas2_fraction
+            * float(n) ** 3
+            * prec.sizeof
+            / (spec.effective_bandwidth * self.mem_eff)
+        )
+        t_blas3 = (
+            (1.0 - self.blas2_fraction)
+            * flops
+            / (spec.peak_flops(prec.sizeof) * self.peak_eff)
+        )
+        return self.t0 + t_blas2 + t_blas3
+
+
+class OneMKL(BaselineLibrary):
+    """Intel oneMKL ``gesvd`` model (hybrid CPU/GPU via DPC++)."""
+
+    name = "onemkl"
+    vendors = (Vendor.INTEL,)
+    max_n = None
+
+    #: Host LAPACK throughput for the small-size CPU path (GFLOPS).
+    cpu_gflops = 60.0
+    #: One-stage reduction: bandwidth-bound trailing updates.
+    mem_eff = 0.30
+    blas2_fraction = 0.5
+    peak_eff = 0.35
+    t0_cpu = 1.0e-4
+    t0_gpu = 1.0e-3
+
+    def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        be, prec = self.check(n, backend, precision)
+        spec = be.device
+        flops = svd_flops(n)
+        t_cpu = self.t0_cpu + flops / (self.cpu_gflops * 1e9)
+        t_blas2 = (
+            self.blas2_fraction
+            * float(n) ** 3
+            * prec.sizeof
+            / (spec.effective_bandwidth * self.mem_eff)
+        )
+        t_blas3 = flops * (1.0 - self.blas2_fraction) / (
+            spec.peak_flops(prec.sizeof) * self.peak_eff
+        )
+        t_gpu = self.t0_gpu + t_blas2 + t_blas3
+        # the library dispatches whichever path it deems faster
+        return min(t_cpu, t_gpu)

@@ -1,0 +1,37 @@
+"""Two-stage QR singular value computation (the paper's core contribution)."""
+
+from .banddiag import getsmqrt, reduce_to_band
+from .batched import predict_batched, svdvals_batched
+from .jacobi import jacobi_svdvals
+from .rectangular import qr_reduce_tall, svdvals_rect
+from .vectors import SVDResult, svd_full
+from .bidiag import bisect, golub_kahan, singular_2x2, svdvals_bidiag
+from .brd import band_to_bidiagonal, givens
+from .svd import SVDInfo, svdvals
+from .tiling import band_width, extract_band, is_upper_band, ntiles, pad_to_tiles, tile
+
+__all__ = [
+    "SVDInfo",
+    "SVDResult",
+    "predict_batched",
+    "svdvals_batched",
+    "jacobi_svdvals",
+    "qr_reduce_tall",
+    "svd_full",
+    "svdvals_rect",
+    "band_to_bidiagonal",
+    "band_width",
+    "bisect",
+    "extract_band",
+    "getsmqrt",
+    "givens",
+    "golub_kahan",
+    "is_upper_band",
+    "ntiles",
+    "pad_to_tiles",
+    "reduce_to_band",
+    "singular_2x2",
+    "svdvals",
+    "svdvals_bidiag",
+    "tile",
+]

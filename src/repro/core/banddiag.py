@@ -1,0 +1,158 @@
+"""Stage 1: reduction of a dense square matrix to upper band form.
+
+This is Algorithm 1/2 of the paper.  For each diagonal tile ``k``:
+
+* an **RQ sweep** makes tile ``(k, k)`` upper triangular (GEQRT), applies
+  the reflectors to the tile row (UNMQR), then annihilates every tile below
+  the diagonal jointly with the triangle (TSQRT) while updating the paired
+  tile rows (TSMQR);
+* an **LQ sweep** applies the transposed algorithm to the tile right of the
+  diagonal, reusing the *same* kernels on a lazy-transpose view - NumPy's
+  strided ``A.T`` plays the role of Julia's lazy transpose: index-level
+  transposition with no data movement.
+
+With ``fused=True`` the TSQRT/TSMQR sequences along a panel run inside
+single FTSQRT/FTSMQR launches (Figure 2), changing launch counts and memory
+traffic but executing numerically identical operations in the same order.
+
+The result is an upper band matrix of bandwidth ``TILESIZE``: the diagonal
+tiles are upper triangular and the superdiagonal tiles lower triangular.
+Below-band storage holds the reflector tails and is ignored downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..kernels import ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr
+from ..sim.session import Session
+from .tiling import ntiles, tile
+
+__all__ = ["getsmqrt", "reduce_to_band"]
+
+
+def getsmqrt(
+    B: np.ndarray,
+    k: int,
+    ts: int,
+    eps: float,
+    session: Optional[Session] = None,
+    lq: bool = False,
+    fused: bool = True,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """One panel factorization + trailing update (paper's ``GETSMQRT``).
+
+    Parameters
+    ----------
+    B:
+        Full (padded) matrix view - pass ``A`` for the RQ sweep and the
+        lazy transpose ``A.T`` for the LQ sweep.
+    k:
+        Sweep index (0-based diagonal tile).
+    ts:
+        Tile size (TILESIZE).
+    eps:
+        Machine epsilon of the input precision.
+    session:
+        Simulator session; when given, every kernel launch is priced and
+        traced.  ``None`` runs numerics only.
+    lq:
+        False: pivot tile is ``(k, k)`` (RQ sweep).  True: pivot tile is
+        ``(k+1, k)`` of the transposed view (LQ sweep), i.e. ``(k, k+1)``
+        of the original matrix.
+    fused:
+        Use the fused FTSQRT/FTSMQR kernels (default) or the classic
+        row-by-row TSQRT/TSMQR launches.
+    compute_dtype:
+        Arithmetic dtype when it differs from storage (FP16 upcast).
+    """
+    npad = B.shape[0]
+    nbt = ntiles(npad, ts)
+    row0 = k + 1 if lq else k
+    if row0 >= nbt:
+        return
+
+    diag = tile(B, row0, k, ts)
+    tau0 = np.zeros(ts, dtype=compute_dtype or B.dtype)
+
+    # ---- GEQRT on the pivot tile ---------------------------------------- #
+    geqrt(diag, tau0, eps, compute_dtype)
+    if session is not None:
+        session.launch_panel("geqrt", nbodies=1, body_tiles=1)
+
+    # ---- UNMQR on the pivot tile row ------------------------------------ #
+    c0 = (k + 1) * ts
+    width = npad - c0
+    if width > 0:
+        row_view = B[row0 * ts : (row0 + 1) * ts, c0:]
+        unmqr(diag, tau0, row_view, compute_dtype)
+        if session is not None:
+            session.launch_update("unmqr", width, nrows=1, has_top_row=False)
+
+    # ---- panel: TSQRT/TSMQR over below rows ------------------------------ #
+    below = list(range(row0 + 1, nbt))
+    if not below:
+        return
+    taus = [np.zeros(ts, dtype=compute_dtype or B.dtype) for _ in below]
+    Bs = [tile(B, l, k, ts) for l in below]
+
+    if fused:
+        ftsqrt(diag, Bs, taus, eps, compute_dtype)
+        if session is not None:
+            session.launch_panel("ftsqrt", nbodies=len(below), body_tiles=2)
+        if width > 0:
+            Y = B[row0 * ts : (row0 + 1) * ts, c0:]
+            Xs = [B[l * ts : (l + 1) * ts, c0:] for l in below]
+            ftsmqr(Bs, taus, Y, Xs, compute_dtype)
+            if session is not None:
+                session.launch_update(
+                    "ftsmqr", width, nrows=len(below), has_top_row=True
+                )
+    else:
+        Y = B[row0 * ts : (row0 + 1) * ts, c0:]
+        for l, Bl, taul in zip(below, Bs, taus):
+            tsqrt(diag, Bl, taul, eps, compute_dtype)
+            if session is not None:
+                session.launch_panel("tsqrt", nbodies=1, body_tiles=2)
+            if width > 0:
+                X = B[l * ts : (l + 1) * ts, c0:]
+                tsmqr(Bl, taul, Y, X, compute_dtype)
+                if session is not None:
+                    session.launch_update(
+                        "tsmqr", width, nrows=1, has_top_row=True
+                    )
+
+
+def reduce_to_band(
+    A: np.ndarray,
+    ts: int,
+    eps: float,
+    session: Optional[Session] = None,
+    fused: bool = True,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """Reduce a padded square matrix to upper band form in place.
+
+    This is the paper's ``banddiag!`` (Algorithm 2): alternate RQ and LQ
+    sweeps over the diagonal tiles, the LQ sweep running the same code on
+    the lazy transpose, then a final GEQRT on the last diagonal tile.
+    """
+    npad = A.shape[0]
+    if npad % ts != 0:
+        raise ValueError(f"matrix order {npad} is not a multiple of TILESIZE {ts}")
+    nbt = npad // ts
+
+    for k in range(nbt - 1):
+        getsmqrt(A, k, ts, eps, session, lq=False, fused=fused,
+                 compute_dtype=compute_dtype)
+        getsmqrt(A.T, k, ts, eps, session, lq=True, fused=fused,
+                 compute_dtype=compute_dtype)
+
+    # final diagonal tile: GEQRT only (Algorithm 2 line 6)
+    tau = np.zeros(ts, dtype=compute_dtype or A.dtype)
+    geqrt(tile(A, nbt - 1, nbt - 1, ts), tau, eps, compute_dtype)
+    if session is not None:
+        session.launch_panel("geqrt", nbodies=1, body_tiles=1)

@@ -1,0 +1,197 @@
+"""Batched singular values: many small matrices in one pass.
+
+The paper's kernels are "optimized for large matrix sizes" and lose to
+tuned libraries below 256 because tiny problems cannot occupy a large GPU
+(sections 4.1-4.2); its related work cites batched GPU SVD (W-cycle) as
+the established answer for many-small-matrix workloads.  This module adds
+that capability on the simulated device:
+
+* numerically, each matrix runs the same unified pipeline;
+* in the cost model, the batch executes as *batched launches*: one grid
+  covers all problems at each schedule step, so occupancy is driven by
+  ``batch x per-problem work`` and the per-launch overhead is paid once
+  per step instead of once per matrix - exactly why batching wins for
+  small sizes.
+
+:func:`predict_batched` exposes the model; :func:`svdvals_batched` runs
+the numerics and charges the batched schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..backends.backend import BackendLike, resolve_backend
+from ..errors import CapacityError, ShapeError
+from ..precision import PrecisionLike
+from ..sim.costmodel import (
+    DEFAULT_COEFFS,
+    CostCoefficients,
+    bidiag_solve_cost,
+    brd_cost,
+    brd_launch_count,
+    panel_cost,
+    update_cost,
+)
+from ..sim.params import KernelParams
+from ..sim.schedule import TimeBreakdown
+from ..sim.tracing import Stage
+from .svd import svdvals
+
+__all__ = ["predict_batched", "svdvals_batched"]
+
+
+def predict_batched(
+    n: int,
+    batch: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    params: Optional[KernelParams] = None,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> TimeBreakdown:
+    """Predict the simulated runtime of ``batch`` SVDs of order ``n``.
+
+    The schedule is the single-matrix schedule with every launch widened
+    ``batch``-fold: panel kernels run ``batch`` independent thread blocks
+    per step (they parallelize perfectly across problems), update kernels
+    process ``batch x width`` columns, and the stage-2/3 work scales
+    linearly while sharing launch overheads.
+    """
+    be = resolve_backend(backend)
+    storage = be.check_precision(precision)
+    compute = be.compute_precision(storage)
+    if params is None:
+        params = KernelParams()
+    if n < 1 or batch < 1:
+        raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
+    spec = be.device
+    total_elems = batch * n * n
+    if total_elems * storage.sizeof * 1.25 > spec.mem_bytes:
+        raise CapacityError(
+            f"batch of {batch} {n}x{n} {storage.name} matrices exceeds "
+            f"{spec.mem_gb} GiB device memory"
+        )
+
+    ts = params.tilesize
+    nbt = max(1, math.ceil(n / ts))
+    npad = nbt * ts
+    overhead = spec.launch_overhead_s
+    bd = TimeBreakdown(n=n)
+    launches = {}
+
+    def add(kind: str, stage: str, cost, count: int = 1) -> None:
+        launches[kind] = launches.get(kind, 0) + count
+        seconds = count * (cost.seconds + overhead)
+        if stage == Stage.PANEL:
+            bd.panel_s += seconds
+        elif stage == Stage.UPDATE:
+            bd.update_s += seconds
+        elif stage == Stage.BRD:
+            bd.brd_s += seconds
+        else:
+            bd.solve_s += seconds
+        bd.flops += count * cost.flops
+        bd.bytes += count * cost.bytes
+
+    # batched panel: `batch` independent single-block bodies per launch run
+    # concurrently on different SMs; the serial chain length is ONE body,
+    # but the launch must fit the device (ceil(batch / SMs) rounds)
+    def batched_panel(nbodies: int, body_tiles: int):
+        one = panel_cost(spec, params, storage, compute, nbodies, body_tiles,
+                         coeffs)
+        rounds = max(1, math.ceil(batch / spec.sm_count))
+        return type(one)(
+            seconds=one.seconds * rounds,
+            flops=one.flops * batch,
+            bytes=one.bytes * batch,
+            compute_seconds=one.compute_seconds * rounds,
+            memory_seconds=one.memory_seconds * batch,
+        )
+
+    for k in range(nbt - 1):
+        w = nbt - 1 - k
+        width = w * ts * batch  # all problems' trailing columns in one grid
+        r = w
+        r2 = w - 1
+        add("geqrt_b", Stage.PANEL, batched_panel(1, 1))
+        add("unmqr_b", Stage.UPDATE,
+            update_cost(spec, params, storage, compute, width, 1, False, coeffs))
+        if r > 0:
+            add("ftsqrt_b", Stage.PANEL, batched_panel(r, 2))
+            add("ftsmqr_b", Stage.UPDATE,
+                update_cost(spec, params, storage, compute, width, r, True, coeffs))
+        add("geqrt_b", Stage.PANEL, batched_panel(1, 1))
+        add("unmqr_b", Stage.UPDATE,
+            update_cost(spec, params, storage, compute, width, 1, False, coeffs))
+        if r2 > 0:
+            add("ftsqrt_b", Stage.PANEL, batched_panel(r2, 2))
+            add("ftsmqr_b", Stage.UPDATE,
+                update_cost(spec, params, storage, compute, width, r2, True, coeffs))
+    add("geqrt_b", Stage.PANEL, batched_panel(1, 1))
+
+    brd = brd_cost(spec, npad, ts, storage, compute, coeffs)
+    nbrd = brd_launch_count(npad, ts, coeffs)
+    if nbrd:
+        launches["brd_chase_b"] = nbrd
+        # flops/bytes scale with the batch; the serial chase latency does
+        # not (independent problems chase concurrently)
+        bd.brd_s += max(
+            brd.compute_seconds * batch, brd.memory_seconds * batch,
+            brd.seconds,
+        ) + nbrd * overhead
+        bd.flops += brd.flops * batch
+        bd.bytes += brd.bytes * batch
+    solve = bidiag_solve_cost(spec, n, storage, coeffs)
+    launches["bdsqr_cpu_b"] = 1
+    bd.solve_s += solve.compute_seconds * batch + coeffs.cpu_call_overhead_s
+    bd.flops += solve.flops * batch
+    bd.launches = launches
+    return bd
+
+
+def svdvals_batched(
+    As: Union[np.ndarray, Sequence[np.ndarray]],
+    backend: BackendLike = "h100",
+    precision: Optional[PrecisionLike] = None,
+    params: Optional[KernelParams] = None,
+    return_info: bool = False,
+) -> Union[np.ndarray, Tuple[np.ndarray, TimeBreakdown]]:
+    """Singular values of a batch of equal-size square matrices.
+
+    Accepts a 3-D array ``(batch, n, n)`` or a sequence of ``(n, n)``
+    arrays; returns a ``(batch, n)`` array of descending singular values
+    (and the batched-cost :class:`TimeBreakdown` with ``return_info``).
+    """
+    if isinstance(As, np.ndarray):
+        if As.ndim != 3:
+            raise ShapeError(f"expected (batch, n, n) array, got {As.shape}")
+        mats: List[np.ndarray] = [As[i] for i in range(As.shape[0])]
+    else:
+        mats = [np.asarray(a) for a in As]
+    if not mats:
+        raise ShapeError("empty batch")
+    n = mats[0].shape[0]
+    for a in mats:
+        if a.shape != (n, n):
+            raise ShapeError("all batch matrices must be square and equal-size")
+
+    if precision is None:
+        try:
+            from ..precision import resolve_precision
+
+            precision = resolve_precision(mats[0].dtype)
+        except Exception:
+            precision = "fp64"
+
+    out = np.empty((len(mats), n), dtype=np.float64)
+    for i, a in enumerate(mats):
+        out[i] = svdvals(
+            a, backend=backend, precision=precision, params=params
+        )
+    if not return_info:
+        return out
+    bd = predict_batched(n, len(mats), backend, precision, params)
+    return out, bd

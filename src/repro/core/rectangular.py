@@ -1,0 +1,161 @@
+"""Rectangular and tall-and-skinny input support (paper future work).
+
+The paper's solver targets square matrices; "support for non-square
+matrices and specialized algorithms for tall and skinny matrices" is
+listed as further work.  This module implements the classical approach on
+the same kernel set:
+
+* ``m > n`` (tall): reduce to an ``n x n`` triangular factor with a tiled
+  **TSQR panel chain** - one GEQRT on the top tile followed by fused TSQRT
+  over the remaining tile rows, i.e. exactly the stage-1 panel kernels
+  applied to a single block column (with trailing updates across the
+  ``n``-wide row panels) - then run the square pipeline on ``R``;
+* ``m < n`` (wide): singular values are transpose-invariant, so the tall
+  path runs on the lazy transpose.
+
+For extreme aspect ratios this *is* the specialized tall-and-skinny
+algorithm: the panel chain costs ``O(m n^2)`` and the square solve
+``O(n^3)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..backends.backend import BackendLike, resolve_backend
+from ..errors import ShapeError
+from ..precision import Precision, PrecisionLike
+from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from ..sim.params import KernelParams
+from ..sim.session import Session
+from ..kernels import ftsmqr, ftsqrt, geqrt, unmqr
+from .svd import SVDInfo, svdvals as svdvals_square
+from .tiling import ntiles, tile
+
+__all__ = ["qr_reduce_tall", "svdvals_rect"]
+
+
+def qr_reduce_tall(
+    A: np.ndarray,
+    ts: int,
+    eps: float,
+    session: Optional[Session] = None,
+    compute_dtype=None,
+) -> np.ndarray:
+    """Reduce a tall ``m x n`` matrix (``m >= n``) to its ``n x n`` R factor.
+
+    Tiled blocked QR: for each block column ``k``, GEQRT the diagonal tile,
+    UNMQR the tile row, then one fused TSQRT/TSMQR pass down the remaining
+    tile rows - the stage-1 RQ sweep generalized to a rectangular grid.
+    ``A`` must be padded to tile multiples in both dimensions.
+
+    Returns the upper-triangular ``n x n`` R factor (a copy; the reflector
+    tails stored below the diagonal in ``A`` are stripped).
+    """
+    m, n = A.shape
+    if m % ts or n % ts:
+        raise ShapeError(f"padded shape required, got {A.shape} for ts={ts}")
+    if m < n:
+        raise ShapeError("qr_reduce_tall expects m >= n")
+    mt, nt = m // ts, n // ts
+
+    for k in range(nt):
+        diag = tile(A, k, k, ts)
+        tau0 = np.zeros(ts, dtype=compute_dtype or A.dtype)
+        geqrt(diag, tau0, eps, compute_dtype)
+        if session is not None:
+            session.launch_panel("geqrt", 1, 1)
+        c0 = (k + 1) * ts
+        width = n - c0
+        if width > 0:
+            unmqr(diag, tau0, A[k * ts : (k + 1) * ts, c0:], compute_dtype)
+            if session is not None:
+                session.launch_update("unmqr", width, 1, False)
+        below = list(range(k + 1, mt))
+        if below:
+            taus = [np.zeros(ts, dtype=compute_dtype or A.dtype) for _ in below]
+            Bs = [tile(A, l, k, ts) for l in below]
+            ftsqrt(diag, Bs, taus, eps, compute_dtype)
+            if session is not None:
+                session.launch_panel("ftsqrt", len(below), 2)
+            if width > 0:
+                Y = A[k * ts : (k + 1) * ts, c0:]
+                Xs = [A[l * ts : (l + 1) * ts, c0:] for l in below]
+                ftsmqr(Bs, taus, Y, Xs, compute_dtype)
+                if session is not None:
+                    session.launch_update("ftsmqr", width, len(below), True)
+    return np.triu(A[:n, :n])
+
+
+def svdvals_rect(
+    A: np.ndarray,
+    backend: BackendLike = "h100",
+    precision: Optional[PrecisionLike] = None,
+    params: Optional[KernelParams] = None,
+    return_info: bool = False,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
+    """Singular values of an arbitrary ``m x n`` real matrix.
+
+    Returns ``min(m, n)`` values in descending order.  Square inputs fall
+    through to the standard driver; rectangular inputs run the tall-QR
+    preprocessing (on the lazy transpose when ``m < n``) before the square
+    pipeline.
+    """
+    A = np.asarray(A)
+    if A.ndim != 2 or min(A.shape) == 0:
+        raise ShapeError(f"expected a non-empty 2-D matrix, got {A.shape}")
+    m, n = A.shape
+    if m == n:
+        return svdvals_square(
+            A, backend=backend, precision=precision, params=params,
+            return_info=return_info, coeffs=coeffs,
+        )
+    if m < n:
+        # singular values are transpose-invariant: zero-copy view
+        return svdvals_rect(
+            A.T, backend=backend, precision=precision, params=params,
+            return_info=return_info, coeffs=coeffs,
+        )
+
+    be = resolve_backend(backend)
+    if precision is None:
+        try:
+            from ..precision import resolve_precision
+
+            precision = resolve_precision(A.dtype)
+        except Exception:
+            precision = Precision.FP64
+    session = Session.create(be, precision, params=params, coeffs=coeffs)
+    storage = session.storage
+    be.check_capacity(int(np.sqrt(m * n)) + 1, storage)
+    ts = session.params.tilesize
+
+    mpad = ntiles(m, ts) * ts
+    npad = ntiles(n, ts) * ts
+    W = np.zeros((mpad, npad), dtype=storage.dtype)
+    W[:m, :n] = np.asarray(A, dtype=storage.dtype)
+    compute_dtype = (
+        session.compute.dtype if session.compute is not session.storage else None
+    )
+    R = qr_reduce_tall(W, ts, storage.eps, session, compute_dtype)
+
+    out = svdvals_square(
+        R[:n, :n], backend=be, precision=precision, params=params,
+        return_info=return_info, coeffs=coeffs,
+    )
+    if not return_info:
+        return out[:n] if out.shape[0] > n else out
+    vals, info = out
+    # merge the preprocessing launches into the report
+    pre = session.tracer
+    info.simulated_seconds += pre.total_seconds
+    for stage, seconds in pre.stage_breakdown().items():
+        info.stage_seconds[stage] = info.stage_seconds.get(stage, 0.0) + seconds
+    for kernel, count in pre.kernel_counts().items():
+        info.launch_counts[kernel] = info.launch_counts.get(kernel, 0) + count
+    info.flops += pre.total_flops
+    info.bytes += pre.total_bytes
+    return vals, info

@@ -1,0 +1,228 @@
+"""The unified singular-value driver (the paper's public entry point).
+
+:func:`svdvals` is the reproduction of the paper's single, hardware- and
+precision-agnostic function: one code path serves every simulated backend
+and every supported precision, specialized only through the backend's
+behaviour rules and the kernel hyperparameters.
+
+Pipeline (two-stage QR reduction, section 3 of the paper):
+
+1. dense -> band (tiled Householder QR, :mod:`repro.core.banddiag`);
+2. band -> bidiagonal (Givens bulge chasing, :mod:`repro.core.brd`);
+3. bidiagonal -> singular values (CPU solver, :mod:`repro.core.bidiag`).
+
+Every kernel launch is priced by the simulator; :class:`SVDInfo` reports
+the per-stage simulated times that Figure 6 of the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..backends.backend import BackendLike, resolve_backend
+from ..errors import ShapeError
+from ..precision import Precision, PrecisionLike
+from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from ..sim.params import KernelParams
+from ..sim.session import Session
+from ..sim.tracing import Stage
+from .banddiag import reduce_to_band
+from .bidiag import svdvals_bidiag
+from .brd import band_to_bidiagonal
+from .tiling import extract_band, pad_to_tiles
+
+__all__ = ["SVDInfo", "svdvals"]
+
+
+@dataclass
+class SVDInfo:
+    """Execution report of one unified ``svdvals`` run."""
+
+    n: int
+    backend: str
+    precision: str
+    params: KernelParams
+    fused: bool
+    simulated_seconds: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    launch_counts: Dict[str, int] = field(default_factory=dict)
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    @property
+    def stage1_seconds(self) -> float:
+        """Reduction to band form (panel + trailing update)."""
+        return self.stage_seconds.get(Stage.PANEL, 0.0) + self.stage_seconds.get(
+            Stage.UPDATE, 0.0
+        )
+
+    def stage_fractions(self) -> Dict[str, float]:
+        """Each stage's share of the simulated runtime (Figure 6)."""
+        total = self.simulated_seconds
+        if total <= 0.0:
+            return {}
+        return {k: v / total for k, v in self.stage_seconds.items()}
+
+
+def _rescale_factor(A: np.ndarray, storage: Precision) -> float:
+    """Power-of-two factor bringing ``A`` into the precision's safe range.
+
+    The paper (section 3.2) restricts its accuracy study to spectra in
+    ``[0, 1]`` and names "default rescaling for matrices with singular
+    values outside the target precision range" as future work; this
+    implements that rescaling in the LAPACK ``gesvd`` style: scale down
+    when the magnitude risks overflow in intermediate squares, up when it
+    risks underflow.  Powers of two keep the scaling exact.
+    """
+    anorm = float(np.max(np.abs(A))) if A.size else 0.0
+    if anorm == 0.0 or not math.isfinite(anorm):
+        return 1.0
+    n = max(A.shape)
+    hi = math.sqrt(storage.fmax) / max(n, 1)
+    if anorm > hi:
+        return 2.0 ** math.floor(math.log2(hi / anorm))
+    # the kernels' small-reflector guard is an *absolute* 10-eps threshold
+    # (Algorithm 3 line 14), so magnitudes far below one must be scaled up
+    # toward O(1), not merely above the underflow boundary
+    if anorm < math.sqrt(storage.eps):
+        return 2.0 ** round(-math.log2(anorm))
+    return 1.0
+
+
+def svdvals(
+    A: np.ndarray,
+    backend: BackendLike = "h100",
+    precision: Optional[PrecisionLike] = None,
+    params: Optional[KernelParams] = None,
+    fused: bool = True,
+    stage3: str = "auto",
+    return_info: bool = False,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+    check_finite: bool = True,
+    rescale: bool = True,
+) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
+    """Compute all singular values of a square matrix on a simulated GPU.
+
+    Parameters
+    ----------
+    A:
+        Square input matrix (any real dtype; converted to ``precision``).
+    backend:
+        Target device name (``"h100"``, ``"mi250"``, ``"m1pro"``, ...) or a
+        resolved :class:`~repro.backends.Backend`.
+    precision:
+        Input precision (``"fp16"`` / ``"fp32"`` / ``"fp64"``).  Defaults
+        to the dtype of ``A`` when supported, else FP64.  Unsupported
+        backend/precision pairs raise
+        :class:`~repro.errors.UnsupportedPrecisionError` exactly where the
+        paper reports gaps (AMD FP16, Apple FP64).
+    params:
+        Kernel hyperparameters (TILESIZE / COLPERBLOCK / SPLITK); defaults
+        to the paper's reference configuration.
+    fused:
+        Use the fused FTSQRT/FTSMQR kernels (Figure 2).  Numerics are
+        identical either way; launch counts and simulated time differ.
+    stage3:
+        Bidiagonal solver: ``"auto"``, ``"gk"``, ``"bisect"`` or
+        ``"lapack"``.
+    return_info:
+        Also return an :class:`SVDInfo` with simulated per-stage timing.
+    coeffs:
+        Cost-model coefficients (exposed for calibration studies).
+    check_finite:
+        Reject inputs containing NaN or Inf (on by default; disable for
+        hot paths that guarantee finiteness).
+    rescale:
+        Pre-scale the matrix by an exact power of two when its magnitude
+        would overflow/underflow the storage precision (essential for
+        FP16, whose largest finite value is 65504) and scale the results
+        back.  See the paper's section 3.2 future-work note.
+
+    Returns
+    -------
+    Singular values in descending order (float64), optionally with the
+    execution report.
+    """
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ShapeError(
+            f"unified svdvals expects a square matrix, got shape {A.shape} "
+            "(use repro.svdvals_rect for rectangular inputs)"
+        )
+    n = A.shape[0]
+    if n == 0:
+        raise ShapeError("empty matrix")
+    if check_finite and not np.all(np.isfinite(A)):
+        raise ShapeError("input matrix contains NaN or Inf entries")
+
+    be = resolve_backend(backend)
+    if precision is None:
+        try:
+            precision = Precision(
+                {np.float16: "fp16", np.float32: "fp32", np.float64: "fp64"}[
+                    A.dtype.type
+                ]
+            )
+        except KeyError:
+            precision = Precision.FP64
+    session = Session.create(be, precision, params=params, coeffs=coeffs)
+    storage = session.storage
+    be.check_capacity(n, storage)
+    kp = session.params
+    ts = kp.tilesize
+
+    # optional exact power-of-two rescaling into the precision's safe range
+    scale = _rescale_factor(A, storage) if rescale else 1.0
+    src = A if scale == 1.0 else A * scale
+
+    # upload in storage precision and zero-pad to full tiles
+    W, _ = pad_to_tiles(np.asarray(src, dtype=storage.dtype), ts)
+    npad = W.shape[0]
+
+    compute_dtype = (
+        session.compute.dtype if session.compute is not storage else None
+    )
+    eps = storage.eps
+
+    # ---- stage 1: dense -> band ----------------------------------------- #
+    reduce_to_band(W, ts, eps, session, fused=fused, compute_dtype=compute_dtype)
+
+    # ---- stage 2: band -> bidiagonal ------------------------------------ #
+    band = extract_band(W, ts)
+    work_dtype = compute_dtype if compute_dtype is not None else storage.dtype
+    band_c = band.astype(work_dtype, copy=False)
+    d, e = band_to_bidiagonal(band_c, ts, session=session, inplace=True)
+    # round through storage precision, as a device-resident result would be
+    d = d.astype(storage.dtype).astype(np.float64)
+    e = e.astype(storage.dtype).astype(np.float64)
+
+    # ---- stage 3: bidiagonal -> singular values (CPU) -------------------- #
+    session.launch_solve(n)
+    vals = svdvals_bidiag(d, e, method=stage3)
+
+    # zero padding contributed exactly (npad - n) zero singular values
+    vals = vals[:n].copy()
+    if scale != 1.0:
+        vals /= scale
+
+    if not return_info:
+        return vals
+    tracer = session.tracer
+    info = SVDInfo(
+        n=n,
+        backend=be.name,
+        precision=storage.name_lower,
+        params=kp,
+        fused=fused,
+        simulated_seconds=tracer.total_seconds,
+        stage_seconds=tracer.stage_breakdown(),
+        launch_counts=tracer.kernel_counts(),
+        flops=tracer.total_flops,
+        bytes=tracer.total_bytes,
+    )
+    return vals, info

@@ -1,0 +1,93 @@
+"""Tile-grid helpers for the stage-1 reduction.
+
+The stage-1 algorithm views the matrix as an ``N x N`` grid of
+``TILESIZE x TILESIZE`` tiles.  This module provides zero-copy tile views,
+padding of arbitrary sizes to full tiles (zero padding appends exactly-zero
+singular values, which the driver strips again), and structure predicates
+used by the tests (band width, triangularity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "ntiles",
+    "pad_to_tiles",
+    "tile",
+    "band_width",
+    "is_upper_band",
+    "extract_band",
+]
+
+
+def ntiles(n: int, ts: int) -> int:
+    """Number of tiles per side for an ``n x n`` matrix (ceil division)."""
+    if n < 1:
+        raise ShapeError(f"matrix order must be positive, got {n}")
+    return -(-n // ts)
+
+
+def pad_to_tiles(A: np.ndarray, ts: int) -> Tuple[np.ndarray, int]:
+    """Zero-pad a square matrix to a multiple of the tile size.
+
+    Returns ``(padded_copy, n_original)``.  Padding with zero rows/columns
+    appends exactly-zero singular values: orthogonal transforms generated
+    from zero columns are sign flips (the Algorithm 3 small-reflector
+    correction), so the padding region stays zero through stage 1.
+    """
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ShapeError(f"expected a square matrix, got shape {A.shape}")
+    n = A.shape[0]
+    npad = ntiles(n, ts) * ts
+    if npad == n:
+        return np.array(A, copy=True, order="C"), n
+    out = np.zeros((npad, npad), dtype=A.dtype)
+    out[:n, :n] = A
+    return out, n
+
+
+def tile(A: np.ndarray, i: int, j: int, ts: int) -> np.ndarray:
+    """Zero-copy view of tile ``(i, j)`` of the tile grid."""
+    return A[i * ts : (i + 1) * ts, j * ts : (j + 1) * ts]
+
+
+def band_width(A: np.ndarray, tol: float = 0.0) -> Tuple[int, int]:
+    """Measured (lower, upper) bandwidths: largest ``|i-j|`` with
+    ``|A[i,j]| > tol`` below/above the diagonal.  Returns ``(0, 0)`` for a
+    diagonal matrix."""
+    n = A.shape[0]
+    lower = upper = 0
+    idx = np.argwhere(np.abs(A) > tol)
+    if idx.size:
+        diff = idx[:, 1] - idx[:, 0]
+        upper = int(max(0, diff.max()))
+        lower = int(max(0, (-diff).max()))
+    return lower, upper
+
+
+def is_upper_band(A: np.ndarray, band: int, tol: float) -> bool:
+    """True if ``A`` is zero (to ``tol``) outside diagonals ``0..band``."""
+    lower, upper = band_width(A, tol)
+    return lower == 0 and upper <= band
+
+
+def extract_band(A: np.ndarray, band: int) -> np.ndarray:
+    """Copy of ``A`` keeping only diagonals ``0..band`` (upper band).
+
+    Stage 1 leaves Householder reflector tails in the below-band tiles
+    (they are never zeroed explicitly, exactly like real implementations
+    that reuse the buffer as reflector storage); the band extraction is
+    what hands a clean band matrix to stage 2.
+    """
+    n = A.shape[0]
+    out = np.zeros_like(A)
+    for k in range(0, band + 1):
+        idx = np.arange(n - k)
+        out[idx, idx + k] = A[idx, idx + k]
+    return out

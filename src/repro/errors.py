@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch library failures with a single ``except`` clause while letting genuine
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UnsupportedPrecisionError",
+    "UnsupportedBackendError",
+    "CapacityError",
+    "InvalidParamsError",
+    "ConvergenceError",
+    "ShapeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class UnsupportedPrecisionError(ReproError):
+    """A backend does not support the requested input precision.
+
+    Mirrors the real-world gaps reported in the paper (Figure 5): the Julia
+    AMD GPU stack cannot convert FP16 at calculation time, and Apple Metal
+    has no FP64 arithmetic.
+    """
+
+
+class UnsupportedBackendError(ReproError):
+    """The requested backend name is not registered."""
+
+
+class CapacityError(ReproError):
+    """The problem does not fit in simulated device memory.
+
+    The paper notes the RTX4060 is limited to 32k matrices and that FP16
+    enables H100-resident problems up to 131k x 131k; this error enforces
+    the same ``n^2 * sizeof(precision)`` budget against device memory.
+    """
+
+
+class InvalidParamsError(ReproError):
+    """Kernel hyperparameters violate a hardware or algorithmic constraint.
+
+    Section 3.3 constrains ``TILESIZE^2 * sizeof(precision)`` to the L1
+    budget, ``SPLITK <= min(TILESIZE, 1024/TILESIZE)`` and ``COLPERBLOCK``
+    to divide ``TILESIZE``.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative bidiagonal solver exceeded its iteration budget."""
+
+
+class ShapeError(ReproError):
+    """Input matrix shape is not supported (non-square, empty, ...)."""

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per paper table / figure.
+
+Run from the command line::
+
+    python -m repro.experiments table1      # accuracy (real numerics)
+    python -m repro.experiments table3      # hyperparameter sensitivity
+    python -m repro.experiments ratios      # Figures 3-4 + Table 4
+    python -m repro.experiments fig5        # portability curves
+    python -m repro.experiments fig6        # stage breakdown
+    python -m repro.experiments ablations   # fusion + SPLITK studies
+    python -m repro.experiments all
+
+Set ``REPRO_FULL=1`` for the paper's full size grids where real numerics
+are involved.
+"""
+
+from . import ablations, common, fig5, fig6, ratios, table1, table3
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "table3": table3.main,
+    "ratios": ratios.main,
+    "fig3": ratios.main,
+    "fig4": ratios.main,
+    "table4": ratios.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "ablations": ablations.main,
+}
+
+__all__ = ["EXPERIMENTS", "ablations", "common", "fig5", "fig6", "ratios", "table1", "table3"]

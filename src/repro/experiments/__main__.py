@@ -1,0 +1,35 @@
+"""CLI entry point: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    """Dispatch to one experiment (or ``all``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(set(EXPERIMENTS)))
+        print(f"usage: python -m repro.experiments <{names}|all>")
+        return 0 if argv else 2
+    name = argv[0].lower()
+    if name == "all":
+        seen = set()
+        for key, fn in EXPERIMENTS.items():
+            if fn in seen:
+                continue
+            seen.add(fn)
+            print(f"\n===== {key} =====")
+            fn()
+        return 0
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}")
+        return 2
+    EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

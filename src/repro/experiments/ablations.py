@@ -1,0 +1,146 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Two studies beyond the paper's tables:
+
+* **Kernel fusion** (section 3.2, Figure 2): launch counts and simulated
+  time of fused FTSQRT/FTSMQR vs the classic row-by-row schedule.  The
+  paper's scaling claim - launches quadratic in tiles unfused, linear
+  fused - is regenerated as a table.
+* **SPLITK** (section 3.3): panel-kernel time vs SPLITK, exposing the
+  occupancy-vs-communication trade-off (more threads shorten the column
+  pass but add reduction synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..report import format_seconds, format_table
+from ..sim import KernelParams, predict, stage1_launch_count
+
+__all__ = [
+    "FusionRow",
+    "SplitkRow",
+    "run_fusion",
+    "run_splitk",
+    "render_fusion",
+    "render_splitk",
+    "main",
+]
+
+FUSION_SIZES: Sequence[int] = (512, 1024, 2048, 4096, 8192, 16384)
+SPLITK_VALUES: Sequence[int] = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class FusionRow:
+    """Fused vs unfused at one size."""
+
+    n: int
+    launches_fused: int
+    launches_unfused: int
+    seconds_fused: float
+    seconds_unfused: float
+
+    @property
+    def speedup(self) -> float:
+        """Simulated time ratio unfused / fused."""
+        return self.seconds_unfused / self.seconds_fused
+
+
+def run_fusion(
+    sizes: Sequence[int] = FUSION_SIZES,
+    backend: str = "h100",
+    precision: str = "fp32",
+) -> List[FusionRow]:
+    """Price both schedules at every size."""
+    rows = []
+    params = KernelParams()
+    for n in sizes:
+        nbt = -(-n // params.tilesize)
+        bf = predict(n, backend, precision, params, fused=True, check_capacity=False)
+        bu = predict(n, backend, precision, params, fused=False, check_capacity=False)
+        rows.append(
+            FusionRow(
+                n=n,
+                launches_fused=stage1_launch_count(nbt, fused=True),
+                launches_unfused=stage1_launch_count(nbt, fused=False),
+                seconds_fused=bf.total_s,
+                seconds_unfused=bu.total_s,
+            )
+        )
+    return rows
+
+
+def render_fusion(rows: List[FusionRow]) -> str:
+    body = [
+        [
+            str(r.n),
+            str(r.launches_fused),
+            str(r.launches_unfused),
+            format_seconds(r.seconds_fused).strip(),
+            format_seconds(r.seconds_unfused).strip(),
+            f"{r.speedup:.2f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["n", "launches fused", "launches unfused", "t fused", "t unfused", "speedup"],
+        body,
+        title="Ablation: fused FTSQRT/FTSMQR vs row-by-row TSQRT/TSMQR (h100 fp32)",
+    )
+
+
+@dataclass
+class SplitkRow:
+    """Stage-1 panel time for one SPLITK value at one size."""
+
+    n: int
+    splitk: int
+    panel_seconds: float
+    total_seconds: float
+
+
+def run_splitk(
+    n: int = 8192,
+    backend: str = "h100",
+    precision: str = "fp32",
+    values: Sequence[int] = SPLITK_VALUES,
+) -> List[SplitkRow]:
+    """Sweep SPLITK at fixed TILESIZE=32, COLPERBLOCK=32."""
+    rows = []
+    for sk in values:
+        params = KernelParams(tilesize=32, colperblock=32, splitk=sk)
+        bd = predict(n, backend, precision, params, check_capacity=False)
+        rows.append(SplitkRow(n, sk, bd.panel_s, bd.total_s))
+    return rows
+
+
+def render_splitk(rows: List[SplitkRow]) -> str:
+    body = [
+        [
+            str(r.n),
+            str(r.splitk),
+            format_seconds(r.panel_seconds).strip(),
+            format_seconds(r.total_seconds).strip(),
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["n", "SPLITK", "panel time", "total time"],
+        body,
+        title="Ablation: SPLITK occupancy vs communication (TS=32, CPB=32)",
+    )
+
+
+def main() -> str:
+    out = "\n\n".join(
+        [render_fusion(run_fusion()), render_splitk(run_splitk())]
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,57 @@
+"""Shared pieces of the experiment harness.
+
+Size grids follow the paper's evaluation: powers of two from 128, with the
+vendor chart stopping at 16384 (the 64-bit addressing gap) and the
+MAGMA/SLATE chart reaching 32768.  Real-numerics experiments (Table 1) are
+bounded by the pure-Python substrate; they default to a reduced grid and
+honour ``REPRO_FULL=1`` for the paper's full range.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+__all__ = [
+    "SIZES_VENDOR",
+    "SIZES_HPC",
+    "SIZES_TABLE1",
+    "SIZES_TABLE3",
+    "full_run",
+    "table1_sizes",
+    "table1_runs",
+]
+
+#: Figure 4 grid (vendor libraries stop at 16384).
+SIZES_VENDOR: Sequence[int] = (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+#: Figure 3 grid (MAGMA / SLATE reach 32768).
+SIZES_HPC: Sequence[int] = SIZES_VENDOR + (32768,)
+
+#: Table 1 grid in the paper.
+SIZES_TABLE1_PAPER: Sequence[int] = (64, 256, 1024, 4096, 16384)
+
+#: Table 3 grid.
+SIZES_TABLE3: Sequence[int] = (128, 512, 2048, 8192, 32768)
+
+#: Reduced Table 1 grid for the pure-Python numerics substrate.
+SIZES_TABLE1_DEFAULT: Sequence[int] = (64, 128, 256)
+
+SIZES_TABLE1 = SIZES_TABLE1_DEFAULT  # backwards-compatible alias
+
+
+def full_run() -> bool:
+    """True when ``REPRO_FULL=1`` requests the paper's full grids."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+def table1_sizes() -> List[int]:
+    """Sizes for the accuracy experiment (env-dependent)."""
+    if full_run():
+        return list(SIZES_TABLE1_PAPER)
+    return list(SIZES_TABLE1_DEFAULT)
+
+
+def table1_runs() -> int:
+    """Matrices per (size, distribution): 10 in the paper, 3 by default."""
+    return 10 if full_run() else 3

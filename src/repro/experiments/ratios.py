@@ -1,0 +1,189 @@
+"""Figures 3-4 and Table 4: runtime ratios of the unified API to libraries.
+
+Ratio convention follows the paper: ``ratio = t_library / t_unified``,
+higher meaning the unified function is faster.  Figure 3 compares against
+MAGMA and SLATE up to 32768; Figure 4 against the vendor libraries
+(cuSOLVER / rocSOLVER / oneMKL) up to 16384 (the vendor solvers' 64-bit
+addressing limit).  Table 4 aggregates every curve into a geometric mean
+and range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import get_baseline
+from ..report import format_ratio, format_table, geomean
+from ..sim import KernelParams, predict
+from ..tuning import autotune
+from .common import SIZES_HPC, SIZES_VENDOR
+
+__all__ = [
+    "RatioCurve",
+    "unified_time",
+    "ratio_curve",
+    "fig3_curves",
+    "fig4_curves",
+    "table4",
+    "render_curves",
+    "render_table4",
+    "main",
+]
+
+#: (device, vendor-library) pairs of Figure 4.
+FIG4_PAIRS: Sequence[Tuple[str, str]] = (
+    ("rtx4060", "cusolver"),
+    ("a100", "cusolver"),
+    ("h100", "cusolver"),
+    ("mi250", "rocsolver"),
+    ("pvc", "onemkl"),
+)
+
+#: Devices of Figure 3 (MAGMA and SLATE support NVIDIA + AMD).
+FIG3_DEVICES: Sequence[str] = ("rtx4060", "a100", "h100", "mi250")
+
+
+@dataclass
+class RatioCurve:
+    """One ratio-vs-size series (one bar group of Figure 3/4)."""
+
+    backend: str
+    library: str
+    precision: str
+    sizes: List[int]
+    ratios: List[float]
+
+    @property
+    def geomean(self) -> float:
+        """Geometric mean over sizes (Table 4 aggregation)."""
+        return geomean(self.ratios)
+
+    @property
+    def range(self) -> Tuple[float, float]:
+        """(min, max) over sizes (Table 4 bracket)."""
+        return (min(self.ratios), max(self.ratios))
+
+
+def unified_time(
+    n: int,
+    backend: str,
+    precision: str = "fp32",
+    tuned: bool = True,
+) -> float:
+    """Predicted unified runtime; hyperparameters autotuned per size
+    (the paper selects the optimal combination per hardware and type)."""
+    params: Optional[KernelParams] = (
+        autotune(n, backend, precision) if tuned else None
+    )
+    return predict(
+        n, backend, precision, params=params, check_capacity=False
+    ).total_s
+
+
+def ratio_curve(
+    backend: str,
+    library: str,
+    precision: str = "fp32",
+    sizes: Optional[Sequence[int]] = None,
+    tuned: bool = True,
+) -> RatioCurve:
+    """Ratio series of one (device, library) pair."""
+    lib = get_baseline(library)
+    if sizes is None:
+        sizes = SIZES_VENDOR if lib.max_n is not None else SIZES_HPC
+    usable = [n for n in sizes if lib.max_n is None or n <= lib.max_n]
+    ratios = [
+        lib.predict_time(n, backend, precision)
+        / unified_time(n, backend, precision, tuned=tuned)
+        for n in usable
+    ]
+    return RatioCurve(backend, library, precision, list(usable), ratios)
+
+
+def fig3_curves(precision: str = "fp32") -> List[RatioCurve]:
+    """Figure 3: unified vs MAGMA and SLATE on every Figure 3 device."""
+    out = []
+    for lib in ("magma", "slate"):
+        for be in FIG3_DEVICES:
+            out.append(ratio_curve(be, lib, precision, SIZES_HPC))
+    return out
+
+
+def fig4_curves(precision: str = "fp32") -> List[RatioCurve]:
+    """Figure 4: unified vs the vendor library of each device."""
+    return [
+        ratio_curve(be, lib, precision, SIZES_VENDOR) for be, lib in FIG4_PAIRS
+    ]
+
+
+def table4(precision: str = "fp32") -> Dict[str, Dict[str, RatioCurve]]:
+    """Table 4: device -> {vendor, magma, slate} geometric-mean curves."""
+    table: Dict[str, Dict[str, RatioCurve]] = {}
+    for be, vendor_lib in FIG4_PAIRS:
+        table.setdefault(be, {})["vendor"] = ratio_curve(
+            be, vendor_lib, precision, SIZES_VENDOR
+        )
+    for be in FIG3_DEVICES:
+        table.setdefault(be, {})["magma"] = ratio_curve(
+            be, "magma", precision, SIZES_HPC
+        )
+        table.setdefault(be, {})["slate"] = ratio_curve(
+            be, "slate", precision, SIZES_HPC
+        )
+    return table
+
+
+def render_curves(curves: List[RatioCurve], title: str) -> str:
+    """Format ratio series as a size-by-pair table."""
+    sizes = sorted({n for c in curves for n in c.sizes})
+    headers = ["n"] + [f"{c.backend}/{c.library}" for c in curves]
+    body = []
+    for n in sizes:
+        row = [str(n)]
+        for c in curves:
+            if n in c.sizes:
+                row.append(format_ratio(c.ratios[c.sizes.index(n)]))
+            else:
+                row.append("-")
+        body.append(row)
+    return format_table(headers, body, title=title)
+
+
+def render_table4(table: Dict[str, Dict[str, RatioCurve]]) -> str:
+    """Format the Table 4 geometric means with ranges."""
+    headers = ["device", "vendor", "MAGMA", "SLATE"]
+    body = []
+    for be, entry in table.items():
+        row = [be]
+        for key in ("vendor", "magma", "slate"):
+            c = entry.get(key)
+            if c is None:
+                row.append("-")
+            else:
+                lo, hi = c.range
+                row.append(
+                    f"{format_ratio(c.geomean)} ({format_ratio(lo)} - "
+                    f"{format_ratio(hi)})"
+                )
+        body.append(row)
+    return format_table(
+        headers,
+        body,
+        title="Table 4: geometric mean of runtime ratios unified/library (range)",
+    )
+
+
+def main() -> str:
+    parts = [
+        render_curves(fig4_curves(), "Figure 4: unified vs vendor libraries"),
+        render_curves(fig3_curves(), "Figure 3: unified vs MAGMA / SLATE"),
+        render_table4(table4()),
+    ]
+    out = "\n\n".join(parts)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,23 @@
+"""Stage-1 tile kernels: the paper's unified GPU kernel set.
+
+One precision- and backend-generic implementation of each kernel
+(GEQRT, TSQRT, UNMQR, TSMQR and the fused FTSQRT/FTSMQR); LQ sweeps reuse
+the same kernels on lazy-transpose views exactly as the Julia code does.
+"""
+
+from .fused import ftsmqr, ftsqrt
+from .geqrt import geqrt
+from .householder import make_reflector
+from .tsmqr import tsmqr
+from .tsqrt import tsqrt
+from .unmqr import unmqr
+
+__all__ = [
+    "ftsmqr",
+    "ftsqrt",
+    "geqrt",
+    "make_reflector",
+    "tsmqr",
+    "tsqrt",
+    "unmqr",
+]

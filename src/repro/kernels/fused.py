@@ -1,0 +1,105 @@
+"""Fused panel kernels FTSQRT / FTSMQR (paper Figure 2, Algorithm 5).
+
+The classic schedule launches one TSQRT and one TSMQR *per below-diagonal
+tile row*; launches then scale quadratically with the tile count.  The
+fused kernels process the whole panel in a single launch:
+
+* **FTSQRT** runs the TSQRT bodies for every tile row sequentially against
+  the shared triangular top tile (the dependency chain through ``R`` is
+  inherent, so fusion loses no parallelism);
+* **FTSMQR** keeps the top tile row ``Y`` resident (in registers, per
+  Algorithm 5's ``Yi`` private array) while walking the below rows, so the
+  top row is loaded from global memory once per launch instead of once per
+  tile row.
+
+Numerically the fused kernels execute the *same operations in the same
+order* as the unfused sequence - a property the test suite pins exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tsmqr import tsmqr_body
+from .tsqrt import tsqrt_body
+
+__all__ = ["ftsqrt", "ftsmqr"]
+
+
+def ftsqrt(
+    R: np.ndarray,
+    Bs: Sequence[np.ndarray],
+    taus: Sequence[np.ndarray],
+    eps: float,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """Fused TSQRT over all below-diagonal tiles of one panel.
+
+    Parameters
+    ----------
+    R:
+        ``(ts, ts)`` triangular top tile (GEQRT output), updated in place.
+    Bs:
+        Below tiles, each ``(ts, ts)``; replaced by reflector tails.
+    taus:
+        One length-``ts`` tau vector per below tile.
+    eps:
+        Machine epsilon of the input precision.
+    compute_dtype:
+        Arithmetic dtype; defaults to the tiles' dtype.
+    """
+    if len(Bs) != len(taus):
+        raise ValueError("need one tau vector per below tile")
+    if not Bs:
+        return
+    if compute_dtype is None or R.dtype == compute_dtype:
+        for B, tau in zip(Bs, taus):
+            tsqrt_body(R, B, tau, eps)
+        return
+    Rw = R.astype(compute_dtype)
+    for B, tau in zip(Bs, taus):
+        Bw = B.astype(compute_dtype)
+        tsqrt_body(Rw, Bw, tau, eps)
+        B[...] = Bw  # downcast store per tile row, like the real kernel
+    R[...] = Rw
+
+
+def ftsmqr(
+    Vs: Sequence[np.ndarray],
+    taus: Sequence[np.ndarray],
+    Y: np.ndarray,
+    Xs: Sequence[np.ndarray],
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """Fused TSMQR: apply every panel row's reflectors in one launch.
+
+    Parameters
+    ----------
+    Vs:
+        TSQRT reflector tiles, one per below tile row.
+    taus:
+        Matching tau vectors.
+    Y:
+        ``(ts, m)`` top tile-row view, resident across the whole launch.
+    Xs:
+        Below tile-row views, each ``(ts, m)``, updated in place.
+    compute_dtype:
+        Arithmetic dtype; defaults to the views' dtype.
+    """
+    if not (len(Vs) == len(taus) == len(Xs)):
+        raise ValueError("Vs, taus and Xs must have equal length")
+    if not Vs or Y.shape[1] == 0:
+        return
+    if compute_dtype is None or Y.dtype == compute_dtype:
+        for V, tau, X in zip(Vs, taus, Xs):
+            Vw = V if V.dtype == Y.dtype else V.astype(Y.dtype)
+            tsmqr_body(Vw, tau, Y, X)
+        return
+    Yw = Y.astype(compute_dtype)  # top row loaded once (Figure 2)
+    for V, tau, X in zip(Vs, taus, Xs):
+        Xw = X.astype(compute_dtype)
+        tsmqr_body(V.astype(compute_dtype), tau, Yw, Xw)
+        X[...] = Xw
+    Y[...] = Yw

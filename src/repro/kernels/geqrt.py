@@ -1,0 +1,75 @@
+"""GEQRT: in-place Householder QR of one square tile (Algorithm 3).
+
+On the simulated GPU this kernel runs as a single thread block of
+``SPLITK x TILESIZE`` threads; numerically it is the classical unblocked
+Householder QR with the paper's normalized-tau storage scheme:
+
+* on exit the upper triangle of the tile holds ``R``;
+* the strict lower triangle holds the reflector tails ``u / x`` (the
+  leading 1 of each ``v`` is implicit);
+* ``tau[k]`` holds ``tau_hat_k`` with ``H_k = I - tau_hat_k v_k v_k^T``;
+* the last column produces no reflector (``tau[TS-1] = 0``).
+
+The kernel is precision-generic: when the storage dtype differs from the
+backend's compute dtype (FP16 on NVIDIA/Intel), data is upcast on load and
+rounded back through the storage dtype on store, mirroring the paper's
+"upcast during computation, downcast at storage time" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .householder import make_reflector
+
+__all__ = ["geqrt"]
+
+
+def geqrt(
+    tile: np.ndarray,
+    tau: np.ndarray,
+    eps: float,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """Factorize ``tile`` in place; write ``tau_hat`` coefficients.
+
+    Parameters
+    ----------
+    tile:
+        ``(ts, ts)`` array view (may be a lazy-transpose view for LQ use).
+    tau:
+        Length-``ts`` output vector for the normalized taus.
+    eps:
+        Machine epsilon of the *input* precision (small-reflector guard).
+    compute_dtype:
+        Arithmetic dtype; defaults to the tile's own dtype.
+    """
+    ts = tile.shape[0]
+    if tile.shape != (ts, ts):
+        raise ValueError(f"GEQRT expects a square tile, got {tile.shape}")
+    work = tile
+    if compute_dtype is not None and tile.dtype != compute_dtype:
+        work = tile.astype(compute_dtype)
+
+    for k in range(ts - 1):
+        alpha = float(work[k, k])
+        u = work[k + 1 :, k].copy()
+        sigma2 = float(u @ u)
+        x, tk, clamped = make_reflector(alpha, sigma2, eps)
+        tau[k] = tk
+        v = np.zeros_like(u) if clamped else u / x
+        if k + 1 < ts:
+            # trailing-column update: rho'_j = tau * (A[k,j] + (u/x).A[k+1:,j])
+            rho = tk * (work[k, k + 1 :] + v @ work[k + 1 :, k + 1 :])
+            work[k, k + 1 :] -= rho
+            work[k + 1 :, k + 1 :] -= np.outer(v, rho)
+        # pivot update (line 16 for thread i = k) and normalized-v store.
+        work[k, k] = -alpha if clamped else alpha - tk * (alpha + sigma2 / x)
+        work[k + 1 :, k] = v
+    if ts >= 1:
+        tau[ts - 1] = 0.0
+
+    if work is not tile:
+        tile[...] = work  # downcast store through the storage dtype

@@ -1,0 +1,73 @@
+"""TSMQR: apply TSQRT reflectors to a pair of tile rows.
+
+Given the structured reflectors ``v_k = [e_k; V[:, k]]`` produced by TSQRT,
+update the trailing columns of the panel's top tile row ``Y`` and of the
+below tile row ``X``:
+
+    rho = tau_hat_k * (Y[k, :] + V[:, k]^T X)
+    Y[k, :] -= rho
+    X      -= V[:, k] * rho
+
+which is exactly the inner loop of the fused kernel listing (Algorithm 5,
+lines 25-33) with ``Y``/``X`` swapped into matrix form across the whole
+trailing width.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["tsmqr", "tsmqr_body"]
+
+
+def tsmqr_body(V: np.ndarray, tau: np.ndarray, Y: np.ndarray, X: np.ndarray) -> None:
+    """In-place TSMQR on arrays already in compute precision."""
+    ts = V.shape[0]
+    for k in range(ts):
+        tk = float(tau[k])
+        if tk == 0.0:
+            continue
+        v = V[:, k]
+        rho = tk * (Y[k, :] + v @ X)
+        Y[k, :] -= rho
+        X -= np.outer(v, rho)
+
+
+def tsmqr(
+    V: np.ndarray,
+    tau: np.ndarray,
+    Y: np.ndarray,
+    X: np.ndarray,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """Apply one TSQRT reflector set to the (``Y``, ``X``) tile-row pair.
+
+    Parameters
+    ----------
+    V:
+        ``(ts, ts)`` TSQRT output (reflector tails of the below tile).
+    tau:
+        Length-``ts`` normalized taus from TSQRT.
+    Y:
+        ``(ts, m)`` top tile-row view (the panel row), updated in place.
+    X:
+        ``(ts, m)`` below tile-row view, updated in place.
+    compute_dtype:
+        Arithmetic dtype; defaults to the views' dtype.
+    """
+    if Y.shape != X.shape:
+        raise ValueError(f"Y shape {Y.shape} != X shape {X.shape}")
+    if Y.shape[1] == 0:
+        return
+    if compute_dtype is None or Y.dtype == compute_dtype:
+        Vw = V if V.dtype == Y.dtype else V.astype(Y.dtype)
+        tsmqr_body(Vw, tau, Y, X)
+        return
+    Yw = Y.astype(compute_dtype)
+    Xw = X.astype(compute_dtype)
+    Vw = V.astype(compute_dtype)
+    tsmqr_body(Vw, tau, Yw, Xw)
+    Y[...] = Yw
+    X[...] = Xw

@@ -1,0 +1,84 @@
+"""TSQRT: QR of a triangle-on-top-of-square tile pair.
+
+Given the upper-triangular ``R`` produced by GEQRT on the diagonal tile and
+a full square tile ``B`` below it, TSQRT computes the QR factorization of
+the stacked ``[R; B]`` pair.  The reflector for column ``k`` has the
+structured form ``v = [e_k; b]``: it touches only the diagonal element of
+the top tile and the *entire* ``k``-th column of the bottom tile, so the
+top tile stays triangular and the bottom tile stores the reflector tails.
+
+On exit:
+
+* ``R`` is overwritten by the updated triangular factor;
+* ``B`` holds the normalized reflector tails (column ``k`` = ``u_k / x_k``);
+* ``tau[k]`` holds ``tau_hat_k``.
+
+This is Algorithm 3 "extended to use a second tile" (paper section 3.2);
+every column produces a reflector because the bottom tile always has
+``TILESIZE`` rows to annihilate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .householder import make_reflector
+
+__all__ = ["tsqrt", "tsqrt_body"]
+
+
+def tsqrt_body(R: np.ndarray, B: np.ndarray, tau: np.ndarray, eps: float) -> None:
+    """In-place TSQRT on arrays already in compute precision."""
+    ts = R.shape[0]
+    for k in range(ts):
+        alpha = float(R[k, k])
+        u = B[:, k].copy()
+        sigma2 = float(u @ u)
+        x, tk, clamped = make_reflector(alpha, sigma2, eps)
+        tau[k] = tk
+        v = np.zeros_like(u) if clamped else u / x
+        if k + 1 < ts:
+            rho = tk * (R[k, k + 1 :] + v @ B[:, k + 1 :])
+            R[k, k + 1 :] -= rho
+            B[:, k + 1 :] -= np.outer(v, rho)
+        R[k, k] = -alpha if clamped else alpha - tk * (alpha + sigma2 / x)
+        B[:, k] = v
+
+
+def tsqrt(
+    R: np.ndarray,
+    B: np.ndarray,
+    tau: np.ndarray,
+    eps: float,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """TSQRT with optional FP16-style load upcast / store downcast.
+
+    Parameters
+    ----------
+    R:
+        ``(ts, ts)`` upper-triangular tile (GEQRT output), updated in place.
+    B:
+        ``(ts, ts)`` below tile; replaced by the reflector tails.
+    tau:
+        Length-``ts`` output for the normalized taus.
+    eps:
+        Machine epsilon of the input precision.
+    compute_dtype:
+        Arithmetic dtype; defaults to the tiles' own dtype.
+    """
+    ts = R.shape[0]
+    if R.shape != (ts, ts) or B.shape != (ts, ts):
+        raise ValueError(
+            f"TSQRT expects square tiles of equal size, got {R.shape}, {B.shape}"
+        )
+    if compute_dtype is None or R.dtype == compute_dtype:
+        tsqrt_body(R, B, tau, eps)
+        return
+    Rw = R.astype(compute_dtype)
+    Bw = B.astype(compute_dtype)
+    tsqrt_body(Rw, Bw, tau, eps)
+    R[...] = Rw
+    B[...] = Bw

@@ -1,0 +1,60 @@
+"""UNMQR: apply a GEQRT reflector set to a tile row (Algorithm 4).
+
+Applies ``Q^T`` (the product of the stored Householder reflectors, first
+reflector first) to the trailing columns ``X`` of the panel's tile row.
+On the simulated GPU this is the massively parallel update kernel: the
+trailing width is partitioned into groups of ``COLPERBLOCK`` columns, one
+workgroup each; numerically every reflector application is one vectorized
+rank-1 update across the full row width.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["unmqr"]
+
+
+def unmqr(
+    V: np.ndarray,
+    tau: np.ndarray,
+    X: np.ndarray,
+    compute_dtype: Optional[np.dtype] = None,
+) -> None:
+    """Overwrite ``X`` with ``Q^T X`` using GEQRT's stored reflectors.
+
+    Parameters
+    ----------
+    V:
+        ``(ts, ts)`` GEQRT output tile; the strict lower triangle holds the
+        normalized reflector tails (implicit unit diagonal).
+    tau:
+        Length-``ts`` normalized taus from GEQRT.
+    X:
+        ``(ts, m)`` trailing-row view, updated in place.
+    compute_dtype:
+        Arithmetic dtype; defaults to ``X``'s dtype.
+    """
+    ts = V.shape[0]
+    if X.shape[0] != ts:
+        raise ValueError(f"X row count {X.shape[0]} != tile size {ts}")
+    if X.shape[1] == 0:
+        return
+    work = X
+    if compute_dtype is not None and X.dtype != compute_dtype:
+        work = X.astype(compute_dtype)
+    Vw = V if V.dtype == work.dtype else V.astype(work.dtype)
+
+    for k in range(ts - 1):
+        tk = float(tau[k])
+        if tk == 0.0:
+            continue
+        v = Vw[k + 1 :, k]
+        rho = tk * (work[k, :] + v @ work[k + 1 :, :])
+        work[k, :] -= rho
+        work[k + 1 :, :] -= np.outer(v, rho)
+
+    if work is not X:
+        X[...] = work

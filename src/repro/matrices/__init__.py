@@ -1,0 +1,21 @@
+"""Random test-matrix substrate (paper accuracy study, Table 1)."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    arithmetic_sigma,
+    get_distribution,
+    logarithmic_sigma,
+    quarter_circle_sigma,
+)
+from .generator import TestMatrix, haar_orthogonal, make_test_matrix
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "TestMatrix",
+    "arithmetic_sigma",
+    "get_distribution",
+    "haar_orthogonal",
+    "logarithmic_sigma",
+    "make_test_matrix",
+    "quarter_circle_sigma",
+]

@@ -1,0 +1,99 @@
+"""Singular-value distributions used by the paper's accuracy study.
+
+Section 3.2 (Accuracy) evaluates three distributions of singular values on
+the interval ``[0, 1]``:
+
+* **arithmetic** - evenly spaced values; the best-conditioned case;
+* **logarithmic** - geometrically spaced values, "more representative of
+  typical practical cases";
+* **quarter-circle** - the limiting spectral distribution of square
+  matrices with i.i.d. random entries (Marchenko-Pastur in its
+  quarter-circle form), mimicking random test matrices.
+
+Each generator returns ``n`` values in descending order within ``(0, 1]``.
+The ``[0, 1]`` interval is general: larger spectra are element-wise
+rescalings (exactly the paper's argument).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "arithmetic_sigma",
+    "logarithmic_sigma",
+    "quarter_circle_sigma",
+    "DISTRIBUTIONS",
+    "get_distribution",
+]
+
+
+def arithmetic_sigma(n: int) -> np.ndarray:
+    """Evenly spaced singular values ``1, (n-1)/n, ..., 1/n``."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    return (np.arange(n, 0, -1, dtype=np.float64)) / float(n)
+
+
+def logarithmic_sigma(n: int, decades: float = 4.0) -> np.ndarray:
+    """Geometrically spaced singular values spanning ``decades`` decades.
+
+    ``sigma_i = 10^(-decades * i / (n-1))`` for ``i = 0..n-1``; the default
+    four decades keeps the smallest value representable in FP16 while
+    exercising a wide dynamic range.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    if n == 1:
+        return np.ones(1)
+    expo = -decades * np.arange(n, dtype=np.float64) / (n - 1)
+    return 10.0**expo
+
+
+def _quarter_circle_cdf(x: np.ndarray) -> np.ndarray:
+    """CDF of the quarter-circle density ``f(x) = (4/pi) sqrt(1 - x^2)``."""
+    x = np.clip(x, 0.0, 1.0)
+    return (2.0 / math.pi) * (x * np.sqrt(1.0 - x * x) + np.arcsin(x))
+
+
+def quarter_circle_sigma(n: int, iters: int = 60) -> np.ndarray:
+    """Deterministic quantiles of the quarter-circle law on ``[0, 1]``.
+
+    Solves ``F(sigma_i) = (i + 1/2) / n`` by bisection (the CDF has no
+    elementary inverse); values are returned in descending order, matching
+    the expected spectrum shape of an i.i.d. random matrix normalized to
+    spectral radius one.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    targets = (np.arange(n, dtype=np.float64) + 0.5) / n
+    lo = np.zeros(n)
+    hi = np.ones(n)
+    for _ in range(iters):
+        mid = 0.5 * (lo + hi)
+        too_high = _quarter_circle_cdf(mid) > targets
+        hi = np.where(too_high, mid, hi)
+        lo = np.where(too_high, lo, mid)
+    vals = 0.5 * (lo + hi)
+    return np.sort(vals)[::-1].copy()
+
+
+DISTRIBUTIONS: Dict[str, Callable[[int], np.ndarray]] = {
+    "arithmetic": arithmetic_sigma,
+    "logarithmic": logarithmic_sigma,
+    "quarter-circle": quarter_circle_sigma,
+}
+
+
+def get_distribution(name: str) -> Callable[[int], np.ndarray]:
+    """Look up a distribution generator by name."""
+    key = name.strip().lower().replace("_", "-")
+    if key not in DISTRIBUTIONS:
+        raise KeyError(
+            f"unknown singular value distribution {name!r}; "
+            f"available: {', '.join(sorted(DISTRIBUTIONS))}"
+        )
+    return DISTRIBUTIONS[key]

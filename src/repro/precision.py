@@ -1,0 +1,145 @@
+"""Precision abstraction: the unified API's data-type axis.
+
+The paper's unified function is generic over the input element type ``T``
+(FP16 / FP32 / FP64); Julia's type inference specializes the kernels at
+compile time.  In this reproduction the same axis is carried explicitly by
+:class:`Precision`, which knows
+
+* the NumPy storage dtype,
+* machine epsilon (used by the kernels' small-reflector correction,
+  Algorithm 3 lines 14-15, and by accuracy tests),
+* the element size driving the cost model (cache-line occupancy, register
+  pressure, memory-capacity limits), and
+* how to resolve user-friendly spellings (``"fp32"``, ``np.float32``, ...).
+
+Backends separately decide the *compute* dtype: e.g. NVIDIA GPUs have no
+scalar FP16 units, so FP16 inputs are upcast to FP32 during computation and
+stored back in FP16 (paper section 4.3).  See
+:meth:`repro.backends.Backend.compute_precision`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from .errors import UnsupportedPrecisionError
+
+__all__ = ["Precision", "PrecisionLike", "resolve_precision"]
+
+
+class Precision(enum.Enum):
+    """Floating-point input precisions supported by the unified API."""
+
+    FP16 = "fp16"
+    FP32 = "fp32"
+    FP64 = "fp64"
+
+    # ------------------------------------------------------------------ #
+    # dtype mapping
+    # ------------------------------------------------------------------ #
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy storage dtype for this precision."""
+        return _DTYPES[self]
+
+    @property
+    def sizeof(self) -> int:
+        """Element size in bytes (drives cost model and capacity checks)."""
+        return self.dtype.itemsize
+
+    @property
+    def eps(self) -> float:
+        """Machine epsilon of this precision (as a Python float)."""
+        return float(np.finfo(self.dtype).eps)
+
+    @property
+    def tiny(self) -> float:
+        """Smallest positive normal number of this precision."""
+        return float(np.finfo(self.dtype).tiny)
+
+    @property
+    def fmax(self) -> float:
+        """Largest finite number of this precision."""
+        return float(np.finfo(self.dtype).max)
+
+    @property
+    def name_lower(self) -> str:
+        """Canonical lower-case name (``"fp16"`` / ``"fp32"`` / ``"fp64"``)."""
+        return self.value
+
+    # ------------------------------------------------------------------ #
+    # ordering helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def bits(self) -> int:
+        """Number of bits per element."""
+        return self.sizeof * 8
+
+    def at_least(self, other: "Precision") -> "Precision":
+        """Return the wider of ``self`` and ``other``.
+
+        Used for upcast rules: a backend that computes FP16 inputs in FP32
+        asks for ``Precision.FP16.at_least(Precision.FP32)``.
+        """
+        return self if self.bits >= other.bits else other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Precision.{self.name}"
+
+
+_DTYPES = {
+    Precision.FP16: np.dtype(np.float16),
+    Precision.FP32: np.dtype(np.float32),
+    Precision.FP64: np.dtype(np.float64),
+}
+
+#: Anything accepted where a precision is expected.
+PrecisionLike = Union[Precision, str, np.dtype, type]
+
+_ALIASES = {
+    "fp16": Precision.FP16,
+    "half": Precision.FP16,
+    "float16": Precision.FP16,
+    "fp32": Precision.FP32,
+    "single": Precision.FP32,
+    "float32": Precision.FP32,
+    "fp64": Precision.FP64,
+    "double": Precision.FP64,
+    "float64": Precision.FP64,
+}
+
+
+def resolve_precision(value: PrecisionLike) -> Precision:
+    """Resolve a user-supplied precision spelling to a :class:`Precision`.
+
+    Accepts :class:`Precision` members, strings (``"fp32"``, ``"single"``,
+    ``"float32"``, ...), NumPy dtypes and NumPy scalar types.
+
+    Raises
+    ------
+    UnsupportedPrecisionError
+        If the value does not name one of FP16/FP32/FP64.
+    """
+    if isinstance(value, Precision):
+        return value
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in _ALIASES:
+            return _ALIASES[key]
+        raise UnsupportedPrecisionError(f"unknown precision name: {value!r}")
+    try:
+        dt = np.dtype(value)
+    except TypeError as exc:  # not dtype-like at all
+        raise UnsupportedPrecisionError(
+            f"cannot interpret {value!r} as a precision"
+        ) from exc
+    for prec, pdt in _DTYPES.items():
+        if dt == pdt:
+            return prec
+    raise UnsupportedPrecisionError(
+        f"dtype {dt} is not one of the supported precisions "
+        f"(float16, float32, float64)"
+    )

@@ -1,0 +1,74 @@
+"""ASCII table / series rendering for the experiment harness.
+
+The benchmark scripts regenerate the paper's tables and figures as plain
+text; these helpers keep the formatting consistent (fixed-width columns,
+scientific notation for errors, engineering notation for times/ratios).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_seconds", "format_ratio", "geomean"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregation used by the paper's Table 4)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0.0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def format_seconds(t: float) -> str:
+    """Human-readable time: ``123 us`` / ``4.56 ms`` / ``7.89 s``."""
+    if not math.isfinite(t):
+        return "n/a"
+    if t < 1e-3:
+        return f"{t * 1e6:7.1f} us"
+    if t < 1.0:
+        return f"{t * 1e3:7.2f} ms"
+    return f"{t:7.2f} s "
+
+
+def format_ratio(r: float) -> str:
+    """Ratio with adaptive precision (matches the paper's 2-sig-fig style)."""
+    if not math.isfinite(r):
+        return "n/a"
+    if r >= 100:
+        return f"{r:.0f}"
+    if r >= 10:
+        return f"{r:.1f}"
+    return f"{r:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    min_width: int = 6,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cols = len(headers)
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row has {len(row)} cells, expected {cols}")
+        cells.append([str(c) for c in row])
+    widths = [
+        max(min_width, max(len(r[i]) for r in cells)) for i in range(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

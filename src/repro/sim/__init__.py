@@ -1,0 +1,54 @@
+"""GPU execution simulator: cost model, occupancy, tracing, prediction.
+
+The simulator replaces physical GPU timing in this reproduction.  Kernels
+execute their numerics in NumPy while every launch is priced by an analytic
+roofline/occupancy model parameterized by the Table 2 device specs; the
+closed-form :func:`predict` walks the same launch schedule without numerics
+for arbitrary matrix sizes.
+"""
+
+from .costmodel import (
+    DEFAULT_COEFFS,
+    CostCoefficients,
+    LaunchCost,
+    bidiag_solve_cost,
+    brd_cost,
+    panel_cost,
+    update_cost,
+)
+from .occupancy import OccupancyInfo, update_occupancy, warp_utilization
+from .params import REFERENCE_PARAMS, KernelParams, param_grid
+from .scaling import predict_multi_gpu, predict_out_of_core
+from .schedule import TimeBreakdown, predict, stage1_launch_count
+from .session import Session
+from .timeline import dump_json, kernel_summary, render_timeline, timeline_rows
+from .tracing import LaunchRecord, Stage, Tracer
+
+__all__ = [
+    "CostCoefficients",
+    "DEFAULT_COEFFS",
+    "KernelParams",
+    "LaunchCost",
+    "LaunchRecord",
+    "OccupancyInfo",
+    "REFERENCE_PARAMS",
+    "Session",
+    "Stage",
+    "TimeBreakdown",
+    "Tracer",
+    "bidiag_solve_cost",
+    "brd_cost",
+    "panel_cost",
+    "param_grid",
+    "predict",
+    "predict_multi_gpu",
+    "predict_out_of_core",
+    "stage1_launch_count",
+    "update_cost",
+    "update_occupancy",
+    "dump_json",
+    "kernel_summary",
+    "render_timeline",
+    "timeline_rows",
+    "warp_utilization",
+]

@@ -1,0 +1,113 @@
+"""Occupancy model for the simulated devices.
+
+Computes how many update-kernel blocks a device can keep in flight, from the
+three classical limits (threads, shared memory, registers), and the derived
+utilization factors the cost model consumes:
+
+* **warp utilization** — a block of ``COLPERBLOCK`` threads occupies
+  ``ceil(COLPERBLOCK / warp)`` full warps; lanes beyond ``COLPERBLOCK`` idle.
+  This is the mechanism behind Table 3's COLPERBLOCK rows: halving
+  COLPERBLOCK from 32 to 16 halves NVIDIA warp utilization and quarters AMD
+  wavefront utilization, which the paper observes as a much larger penalty
+  on the MI250.
+* **occupancy fraction** — how close the grid comes to the thread count the
+  device needs to hide latency.  Small matrices cannot fill large devices
+  (the paper's explanation for small-size underperformance), and beyond
+  full occupancy additional blocks serialize (the Figure 6 discussion of
+  the RTX4060's steep trailing-update growth between 8k and 32k).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..backends.device import DeviceSpec
+from .params import KernelParams
+
+__all__ = ["OccupancyInfo", "update_occupancy", "warp_utilization"]
+
+#: Threads per SM needed to hide pipeline/memory latency at peak throughput.
+SATURATION_THREADS_PER_SM = 128
+
+#: Register bytes reserved per thread independent of tile data.
+BASE_REG_BYTES_PER_THREAD = 64
+
+
+def warp_utilization(block_threads: int, warp_size: int) -> float:
+    """Fraction of allocated SIMT lanes doing useful work for one block."""
+    warps = math.ceil(block_threads / warp_size)
+    return block_threads / (warps * warp_size)
+
+
+@dataclass(frozen=True)
+class OccupancyInfo:
+    """Result of an occupancy computation for an update-kernel grid."""
+
+    blocks_per_sm: int
+    blocks_in_flight: int
+    waves: int
+    occupancy: float  # fraction of latency-hiding thread capacity in use
+    warp_util: float  # lanes doing useful work / lanes allocated
+
+    @property
+    def effective_parallel_fraction(self) -> float:
+        """Combined throughput derate from occupancy and divergence."""
+        return self.occupancy * self.warp_util
+
+
+def update_occupancy(
+    spec: DeviceSpec,
+    params: KernelParams,
+    nblocks: int,
+    sizeof_compute: int,
+    regs_per_thread_elems: int,
+) -> OccupancyInfo:
+    """Occupancy of an update-kernel (UNMQR/TSMQR) grid.
+
+    Parameters
+    ----------
+    spec:
+        Target device.
+    params:
+        Kernel hyperparameters; ``colperblock`` is the block size.
+    nblocks:
+        Grid size (number of workgroups launched).
+    sizeof_compute:
+        Bytes per element in compute precision (register pressure).
+    regs_per_thread_elems:
+        Elements each thread keeps in registers (``TILESIZE`` for UNMQR,
+        ``2 * TILESIZE`` for the fused TSMQR which holds X and Y columns).
+    """
+    ts = params.tilesize
+    cpb = params.colperblock
+
+    # shared memory per block: A_k column + tau (Algorithm 5 @localmem).
+    smem_block = 2 * ts * sizeof_compute
+    # registers per thread: private X/Y columns plus scalars.
+    reg_bytes_thread = (
+        regs_per_thread_elems * sizeof_compute + BASE_REG_BYTES_PER_THREAD
+    )
+
+    limit_threads = max(1, spec.max_threads_per_sm // cpb)
+    limit_blocks = spec.max_blocks_per_sm
+    limit_smem = max(1, spec.l1_bytes // smem_block)
+    reg_file = spec.registers_per_sm_kb * 1024
+    limit_regs = max(1, reg_file // max(1, reg_bytes_thread * cpb))
+
+    bpsm = max(1, min(limit_threads, limit_blocks, limit_smem, limit_regs))
+    in_flight = bpsm * spec.sm_count
+    waves = max(1, math.ceil(nblocks / in_flight))
+
+    active_threads = min(nblocks, in_flight) * cpb
+    occupancy = min(
+        1.0, active_threads / (spec.sm_count * SATURATION_THREADS_PER_SM)
+    )
+    wutil = warp_utilization(cpb, spec.warp_size)
+    return OccupancyInfo(
+        blocks_per_sm=bpsm,
+        blocks_in_flight=in_flight,
+        waves=waves,
+        occupancy=occupancy,
+        warp_util=wutil,
+    )

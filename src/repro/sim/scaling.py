@@ -1,0 +1,146 @@
+"""Out-of-core and multi-GPU execution models (paper future work).
+
+The paper closes with: "we aim to incorporate support for out-of-core
+execution, multi-GPU scaling, and heterogeneous environments, enabling
+larger problem sizes and better resource utilization."  This module
+extends the analytic schedule model to both regimes so the design space
+can be explored ahead of a kernel port:
+
+* :func:`predict_out_of_core` prices the stage-1 reduction when the matrix
+  exceeds device memory: panels stay resident while trailing tile rows
+  stream over the host link, bounding throughput by
+  ``min(device roofline, PCIe bandwidth x arithmetic intensity)``;
+* :func:`predict_multi_gpu` prices a tile-row partitioned multi-GPU stage
+  1: trailing updates scale with the device count, the panel chain stays
+  serial (it is the critical path), and every sweep broadcasts the panel
+  to all peers.
+
+Both return the same :class:`~repro.sim.schedule.TimeBreakdown` used by
+the single-GPU model, so all reporting utilities apply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..backends.backend import BackendLike, resolve_backend
+from ..errors import CapacityError, ShapeError
+from ..precision import PrecisionLike
+from .costmodel import DEFAULT_COEFFS, CostCoefficients
+from .params import KernelParams
+from .schedule import TimeBreakdown, predict
+
+__all__ = ["predict_out_of_core", "predict_multi_gpu"]
+
+
+def predict_out_of_core(
+    n: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    params: Optional[KernelParams] = None,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> TimeBreakdown:
+    """Predict runtime when the matrix exceeds device memory.
+
+    The schedule keeps the active panel and one trailing row-block
+    resident; every sweep streams the trailing submatrix in and out over
+    the host link once.  Total host traffic is therefore about
+    ``2 * sum_k (n - k*ts)^2 ~ (2/3) n^3 / ts`` elements - the classic
+    out-of-core LU/QR bound - and the stage-1 update time becomes the
+    maximum of the in-core update time and that transfer time.
+    """
+    be = resolve_backend(backend)
+    storage = be.check_precision(precision)
+    if params is None:
+        params = KernelParams()
+    if n < 1:
+        raise ShapeError(f"matrix order must be positive, got {n}")
+
+    # in-core baseline without the capacity guard
+    bd = predict(
+        n, be, storage, params=params, coeffs=coeffs, check_capacity=False
+    )
+    if n <= be.max_n(storage):
+        return bd  # fits: out-of-core machinery is a no-op
+
+    ts = params.tilesize
+    nbt = max(1, math.ceil(n / ts))
+    # per sweep: trailing submatrix streamed in and out once
+    elems = 0.0
+    for k in range(nbt - 1):
+        w = (nbt - 1 - k) * ts
+        elems += 2.0 * 2.0 * w * w  # RQ + LQ sweeps, in + out
+    host_seconds = elems * storage.sizeof / (coeffs.pcie_gbs * 1e9)
+
+    ooc = TimeBreakdown(
+        n=n,
+        panel_s=bd.panel_s,
+        update_s=max(bd.update_s, host_seconds),
+        brd_s=bd.brd_s,
+        solve_s=bd.solve_s,
+        launches=dict(bd.launches),
+        flops=bd.flops,
+        bytes=bd.bytes + elems * storage.sizeof,
+    )
+    ooc.launches["h2d_stream"] = 2 * (nbt - 1)
+    return ooc
+
+
+def predict_multi_gpu(
+    n: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    ngpus: int,
+    params: Optional[KernelParams] = None,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+    link_gbs: float = 100.0,
+) -> TimeBreakdown:
+    """Predict stage-1 scaling over ``ngpus`` identical devices.
+
+    Tile rows are block-cyclically distributed: trailing updates divide by
+    the device count, the panel factorization chain stays serial (one
+    device owns each panel), and each sweep broadcasts its panel tiles
+    (``~2 n ts`` elements) over the interconnect.  Stages 2-3 remain
+    single-device (they are small; the paper defers their distribution to
+    the Dagger integration it envisions).
+
+    Amdahl's law emerges naturally: speedup saturates once the serial
+    panel chain dominates.
+    """
+    if ngpus < 1:
+        raise ShapeError(f"need at least one GPU, got {ngpus}")
+    be = resolve_backend(backend)
+    storage = be.check_precision(precision)
+    if params is None:
+        params = KernelParams()
+
+    bd = predict(
+        n, be, storage, params=params, coeffs=coeffs, check_capacity=False
+    )
+    if ngpus == 1:
+        return bd
+
+    ts = params.tilesize
+    nbt = max(1, math.ceil(n / ts))
+    # per sweep (RQ + LQ): panel column broadcast to all peers
+    bcast_elems = 2.0 * (nbt - 1) * (n * ts + ts * ts)
+    comm_seconds = (
+        bcast_elems
+        * storage.sizeof
+        * math.log2(ngpus)  # tree broadcast depth
+        / (link_gbs * 1e9)
+    )
+
+    out = TimeBreakdown(
+        n=n,
+        panel_s=bd.panel_s,  # serial critical path
+        update_s=bd.update_s / ngpus + comm_seconds,
+        brd_s=bd.brd_s,
+        solve_s=bd.solve_s,
+        launches=dict(bd.launches),
+        flops=bd.flops,
+        bytes=bd.bytes,
+    )
+    out.launches["panel_bcast"] = 2 * (nbt - 1)
+    return out

@@ -1,0 +1,265 @@
+"""Closed-form schedule model: predict simulated runtime without numerics.
+
+The stage-1 reduction (Algorithm 1/2) has a fully static launch schedule:
+for each of the ``N = n / TILESIZE`` diagonal tiles, an RQ sweep and an LQ
+sweep issue a fixed pattern of panel and update launches.  This module
+walks that schedule *analytically* - the launch sequence and its cost are
+computed without touching matrix data - which lets the benchmark harness
+price the paper's full size grid (up to 131072 for FP16 on H100) in
+milliseconds.
+
+Consistency guarantee: for sizes where the numeric driver actually runs,
+``predict(...)`` charges exactly the same launches as the traced execution
+(pinned by a property test in ``tests/test_schedule_consistency.py``).
+
+Fused vs unfused (Figure 2): ``fused=True`` prices one FTSQRT + one FTSMQR
+launch per sweep; ``fused=False`` prices one TSQRT + one TSMQR launch per
+below-diagonal tile row, reproducing the paper's quadratic-vs-linear launch
+scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..backends.backend import Backend, BackendLike, resolve_backend
+from ..errors import ShapeError
+from ..precision import Precision, PrecisionLike
+from .costmodel import (
+    DEFAULT_COEFFS,
+    CostCoefficients,
+    LaunchCost,
+    bidiag_solve_cost,
+    brd_cost,
+    brd_launch_count,
+    panel_cost,
+    update_cost,
+)
+from .params import KernelParams
+from .tracing import Stage
+
+__all__ = ["TimeBreakdown", "predict", "stage1_launch_count"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Predicted simulated runtime, attributed per stage.
+
+    ``panel_s`` / ``update_s`` / ``brd_s`` / ``solve_s`` include the launch
+    overheads of their own kernels, matching the tracer's accounting.
+    """
+
+    n: int
+    panel_s: float = 0.0
+    update_s: float = 0.0
+    brd_s: float = 0.0
+    solve_s: float = 0.0
+    launches: Dict[str, int] = field(default_factory=dict)
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end simulated seconds."""
+        return self.panel_s + self.update_s + self.brd_s + self.solve_s
+
+    @property
+    def stage1_s(self) -> float:
+        """Reduction to band form (panel + trailing update)."""
+        return self.panel_s + self.update_s
+
+    @property
+    def launch_total(self) -> int:
+        """Total kernel launches."""
+        return sum(self.launches.values())
+
+    def stage_fractions(self) -> Dict[str, float]:
+        """Figure 6 quantities: each stage's share of total runtime."""
+        t = self.total_s
+        if t <= 0.0:
+            return {}
+        return {
+            Stage.PANEL: self.panel_s / t,
+            Stage.UPDATE: self.update_s / t,
+            Stage.BRD: self.brd_s / t,
+            Stage.SOLVE: self.solve_s / t,
+        }
+
+
+def stage1_launch_count(nbtiles: int, fused: bool = True) -> int:
+    """Total stage-1 kernel launches for an ``N x N`` tile grid.
+
+    Fused kernels launch O(N) kernels, unfused O(N^2) - the scaling claim
+    of section 3.2 ("quadratically with matrix size when using unfused
+    kernels, but only linearly with fused kernels" in terms of tile count).
+    """
+    if nbtiles < 1:
+        raise ShapeError("need at least one tile")
+    total = 1  # final diagonal GEQRT
+    for k in range(nbtiles - 1):
+        w = nbtiles - 1 - k  # trailing tiles right of / below diagonal
+        r2 = w - 1  # LQ below-panel rows
+        # RQ sweep: GEQRT + UNMQR
+        total += 2
+        if fused:
+            total += 2  # FTSQRT + FTSMQR
+        else:
+            total += 2 * w  # w x (TSQRT + TSMQR)
+        # LQ sweep: GEQRT + UNMQR
+        total += 2
+        if r2 > 0:
+            total += 2 if fused else 2 * r2
+    return total
+
+
+def predict(
+    n: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    params: Optional[KernelParams] = None,
+    fused: bool = True,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+    check_capacity: bool = True,
+) -> TimeBreakdown:
+    """Predict the simulated runtime of ``svdvals`` on an ``n x n`` matrix.
+
+    Parameters mirror :func:`repro.svdvals`; this function never executes
+    numerics and is safe for the paper's largest sizes.
+    """
+    be = resolve_backend(backend)
+    storage = be.check_precision(precision)
+    compute = be.compute_precision(storage)
+    if params is None:
+        params = KernelParams()
+    if n < 1:
+        raise ShapeError(f"matrix order must be positive, got {n}")
+    if check_capacity:
+        be.check_capacity(n, storage)
+
+    spec = be.device
+    ts = params.tilesize
+    nbtiles = max(1, math.ceil(n / ts))
+    npad = nbtiles * ts
+    overhead = spec.launch_overhead_s
+
+    bd = TimeBreakdown(n=n)
+    launches: Dict[str, int] = {}
+
+    def add(kind: str, stage: str, cost: LaunchCost, count: int = 1) -> None:
+        if count <= 0:
+            return
+        launches[kind] = launches.get(kind, 0) + count
+        seconds = count * (cost.seconds + overhead)
+        if stage == Stage.PANEL:
+            bd.panel_s += seconds
+        elif stage == Stage.UPDATE:
+            bd.update_s += seconds
+        elif stage == Stage.BRD:
+            bd.brd_s += seconds
+        else:
+            bd.solve_s += seconds
+        bd.flops += count * cost.flops
+        bd.bytes += count * cost.bytes
+
+    # cost of each kernel shape is k-dependent only through widths/rows;
+    # memoize the three panel shapes once.
+    geqrt = panel_cost(spec, params, storage, compute, 1, 1, coeffs)
+    tsqrt = panel_cost(spec, params, storage, compute, 1, 2, coeffs)
+
+    for k in range(nbtiles - 1):
+        w = nbtiles - 1 - k  # trailing width in tiles
+        width = w * ts  # trailing width in columns
+        r = w  # RQ below-diagonal tile rows
+        r2 = w - 1  # LQ right-of-superdiagonal tile cols
+
+        # ---- RQ sweep -------------------------------------------------- #
+        add("geqrt", Stage.PANEL, geqrt)
+        add(
+            "unmqr",
+            Stage.UPDATE,
+            update_cost(
+                spec, params, storage, compute, width, 1, False, coeffs
+            ),
+        )
+        if r > 0:
+            if fused:
+                add(
+                    "ftsqrt",
+                    Stage.PANEL,
+                    panel_cost(spec, params, storage, compute, r, 2, coeffs),
+                )
+                add(
+                    "ftsmqr",
+                    Stage.UPDATE,
+                    update_cost(
+                        spec, params, storage, compute, width, r, True, coeffs
+                    ),
+                )
+            else:
+                add("tsqrt", Stage.PANEL, tsqrt, count=r)
+                add(
+                    "tsmqr",
+                    Stage.UPDATE,
+                    update_cost(
+                        spec, params, storage, compute, width, 1, True, coeffs
+                    ),
+                    count=r,
+                )
+
+        # ---- LQ sweep (transposed) ------------------------------------- #
+        add("geqrt", Stage.PANEL, geqrt)
+        add(
+            "unmqr",
+            Stage.UPDATE,
+            update_cost(
+                spec, params, storage, compute, width, 1, False, coeffs
+            ),
+        )
+        if r2 > 0:
+            if fused:
+                add(
+                    "ftsqrt",
+                    Stage.PANEL,
+                    panel_cost(spec, params, storage, compute, r2, 2, coeffs),
+                )
+                add(
+                    "ftsmqr",
+                    Stage.UPDATE,
+                    update_cost(
+                        spec, params, storage, compute, width, r2, True, coeffs
+                    ),
+                )
+            else:
+                add("tsqrt", Stage.PANEL, tsqrt, count=r2)
+                add(
+                    "tsmqr",
+                    Stage.UPDATE,
+                    update_cost(
+                        spec, params, storage, compute, width, 1, True, coeffs
+                    ),
+                    count=r2,
+                )
+
+    # final diagonal tile
+    add("geqrt", Stage.PANEL, geqrt)
+
+    # ---- stage 2: band -> bidiagonal ----------------------------------- #
+    brd = brd_cost(spec, npad, ts, storage, compute, coeffs)
+    nbrd = brd_launch_count(npad, ts, coeffs)
+    if nbrd > 0:
+        launches["brd_chase"] = nbrd
+        bd.brd_s += brd.seconds + nbrd * overhead
+        bd.flops += brd.flops
+        bd.bytes += brd.bytes
+
+    # ---- stage 3: bidiagonal -> singular values (CPU) ------------------- #
+    solve = bidiag_solve_cost(spec, n, storage, coeffs)
+    launches["bdsqr_cpu"] = 1
+    bd.solve_s += solve.seconds
+    bd.flops += solve.flops
+    bd.bytes += solve.bytes
+
+    bd.launches = launches
+    return bd

@@ -1,0 +1,162 @@
+"""Execution session: the unified kernel-launch API.
+
+A :class:`Session` is the reproduction's KernelAbstractions analogue: it
+binds one backend, one storage precision (and the backend-derived compute
+precision), one hyperparameter set and a tracer, and exposes ``launch_*``
+methods that the kernels call.  Each launch is priced by the cost model and
+recorded; the numerics themselves run inline in NumPy.
+
+The same launch calls are generated analytically by
+:mod:`repro.sim.schedule`, and a property test pins that both paths charge
+*identical* simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..backends.backend import Backend, BackendLike, resolve_backend
+from ..precision import Precision, PrecisionLike
+from .costmodel import (
+    DEFAULT_COEFFS,
+    CostCoefficients,
+    LaunchCost,
+    bidiag_solve_cost,
+    brd_cost,
+    brd_launch_count,
+    panel_cost,
+    transfer_cost,
+    update_cost,
+)
+from .params import KernelParams
+from .tracing import LaunchRecord, Stage, Tracer
+
+__all__ = ["Session"]
+
+
+@dataclass
+class Session:
+    """Bound execution context for one ``svdvals`` run."""
+
+    backend: Backend
+    storage: Precision
+    compute: Precision
+    params: KernelParams
+    coeffs: CostCoefficients = DEFAULT_COEFFS
+    tracer: Tracer = field(default_factory=Tracer)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls,
+        backend: BackendLike,
+        precision: PrecisionLike,
+        params: Optional[KernelParams] = None,
+        coeffs: CostCoefficients = DEFAULT_COEFFS,
+        keep_records: bool = True,
+    ) -> "Session":
+        """Build a session, resolving backend/precision spellings."""
+        be = resolve_backend(backend)
+        storage = be.check_precision(precision)
+        compute = be.compute_precision(storage)
+        return cls(
+            backend=be,
+            storage=storage,
+            compute=compute,
+            params=params if params is not None else KernelParams(),
+            coeffs=coeffs,
+            tracer=Tracer(keep_records=keep_records),
+        )
+
+    # ------------------------------------------------------------------ #
+    # launch API used by the kernels
+    # ------------------------------------------------------------------ #
+    def _record(
+        self, kernel: str, stage: str, cost: LaunchCost, grid: int, block: int
+    ) -> None:
+        self.tracer.record(
+            LaunchRecord(
+                kernel=kernel,
+                stage=stage,
+                cost=cost,
+                overhead_s=self.backend.device.launch_overhead_s,
+                grid=grid,
+                block=block,
+            )
+        )
+
+    def launch_panel(
+        self, kernel: str, nbodies: int = 1, body_tiles: int = 1
+    ) -> None:
+        """Record a panel-kernel launch (GEQRT / TSQRT / FTSQRT)."""
+        cost = panel_cost(
+            self.backend.device,
+            self.params,
+            self.storage,
+            self.compute,
+            nbodies=nbodies,
+            body_tiles=body_tiles,
+            coeffs=self.coeffs,
+        )
+        self._record(kernel, Stage.PANEL, cost, 1, self.params.panel_threads)
+
+    def launch_update(
+        self,
+        kernel: str,
+        width_cols: int,
+        nrows: int = 1,
+        has_top_row: bool = True,
+    ) -> None:
+        """Record an update-kernel launch (UNMQR / TSMQR / FTSMQR)."""
+        if width_cols <= 0:
+            return
+        cost = update_cost(
+            self.backend.device,
+            self.params,
+            self.storage,
+            self.compute,
+            width_cols=width_cols,
+            nrows=nrows,
+            has_top_row=has_top_row,
+            coeffs=self.coeffs,
+        )
+        grid = max(1, -(-width_cols // self.params.colperblock))
+        self._record(kernel, Stage.UPDATE, cost, grid, self.params.colperblock)
+
+    def launch_brd(self, n: int, band: int) -> None:
+        """Record the stage-2 bulge-chasing launches."""
+        cost = brd_cost(
+            self.backend.device, n, band, self.storage, self.compute, self.coeffs
+        )
+        launches = brd_launch_count(n, band, self.coeffs)
+        if launches == 0:
+            return
+        # the aggregate kernel time rides on the first record; the remaining
+        # launches carry only their overhead (same totals and counts as the
+        # analytic schedule)
+        self._record("brd_chase", Stage.BRD, cost, launches, band)
+        for _ in range(launches - 1):
+            self._record("brd_chase", Stage.BRD, LaunchCost(0.0), 1, band)
+
+    def launch_solve(self, n: int) -> None:
+        """Record the stage-3 CPU bidiagonal solve."""
+        cost = bidiag_solve_cost(self.backend.device, n, self.storage, self.coeffs)
+        self.tracer.record(
+            LaunchRecord(
+                kernel="bdsqr_cpu", stage=Stage.SOLVE, cost=cost, overhead_s=0.0
+            )
+        )
+
+    def launch_transfer(self, nbytes: float, label: str = "h2d") -> None:
+        """Record a host<->device transfer."""
+        cost = transfer_cost(nbytes, self.coeffs)
+        self.tracer.record(
+            LaunchRecord(kernel=label, stage=Stage.TRANSFER, cost=cost, overhead_s=0.0)
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated device time accumulated so far."""
+        return self.tracer.total_seconds

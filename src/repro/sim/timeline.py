@@ -1,0 +1,106 @@
+"""Timeline export: inspect and persist the simulator's launch trace.
+
+The paper's Figure 6 analysis needs per-kernel, per-stage attribution;
+this module turns a :class:`~repro.sim.tracing.Tracer` into human-readable
+and machine-readable artifacts:
+
+* :func:`render_timeline` - fixed-width table of every launch (kernel,
+  stage, grid/block, simulated time, cumulative clock);
+* :func:`timeline_rows` - plain dict rows, JSON/CSV-friendly;
+* :func:`kernel_summary` - per-kernel aggregate (count, total time, share).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..report import format_seconds, format_table
+from .tracing import Tracer
+
+__all__ = ["timeline_rows", "render_timeline", "kernel_summary", "dump_json"]
+
+
+def timeline_rows(tracer: Tracer) -> List[Dict[str, object]]:
+    """Per-launch dict rows with a cumulative simulated clock."""
+    rows: List[Dict[str, object]] = []
+    clock = 0.0
+    for rec in tracer.records:
+        clock += rec.seconds
+        rows.append(
+            {
+                "kernel": rec.kernel,
+                "stage": rec.stage,
+                "grid": rec.grid,
+                "block": rec.block,
+                "seconds": rec.seconds,
+                "overhead_s": rec.overhead_s,
+                "flops": rec.cost.flops,
+                "bytes": rec.cost.bytes,
+                "clock_s": clock,
+            }
+        )
+    return rows
+
+
+def render_timeline(tracer: Tracer, limit: int = 50) -> str:
+    """ASCII table of the first ``limit`` launches plus a summary line."""
+    rows = timeline_rows(tracer)
+    body = [
+        [
+            str(i),
+            r["kernel"],
+            r["stage"],
+            f"{r['grid']}x{r['block']}",
+            format_seconds(float(r["seconds"])).strip(),
+            format_seconds(float(r["clock_s"])).strip(),
+        ]
+        for i, r in enumerate(rows[:limit])
+    ]
+    table = format_table(
+        ["#", "kernel", "stage", "grid", "time", "clock"],
+        body,
+        title=f"simulated timeline ({len(rows)} launches, "
+        f"total {format_seconds(tracer.total_seconds).strip()})",
+    )
+    if len(rows) > limit:
+        table += f"\n... {len(rows) - limit} more launches"
+    return table
+
+
+def kernel_summary(tracer: Tracer) -> List[Dict[str, object]]:
+    """Per-kernel aggregates sorted by total simulated time."""
+    agg: Dict[str, Dict[str, float]] = {}
+    for rec in tracer.records:
+        entry = agg.setdefault(
+            rec.kernel, {"count": 0.0, "seconds": 0.0, "flops": 0.0}
+        )
+        entry["count"] += 1
+        entry["seconds"] += rec.seconds
+        entry["flops"] += rec.cost.flops
+    total = tracer.total_seconds or 1.0
+    out = [
+        {
+            "kernel": kernel,
+            "count": int(v["count"]),
+            "seconds": v["seconds"],
+            "share": v["seconds"] / total,
+            "flops": v["flops"],
+        }
+        for kernel, v in agg.items()
+    ]
+    out.sort(key=lambda r: -float(r["seconds"]))
+    return out
+
+
+def dump_json(tracer: Tracer) -> str:
+    """Serialize the full timeline to a JSON string."""
+    return json.dumps(
+        {
+            "total_seconds": tracer.total_seconds,
+            "stage_seconds": tracer.stage_breakdown(),
+            "kernels": kernel_summary(tracer),
+            "launches": timeline_rows(tracer),
+        },
+        indent=1,
+    )

@@ -1,0 +1,5 @@
+"""Hyperparameter tuning: the paper's performance-portability mechanism."""
+
+from .search import SearchResult, autotune, clear_autotune_cache, grid_search
+
+__all__ = ["SearchResult", "autotune", "clear_autotune_cache", "grid_search"]

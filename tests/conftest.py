@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import scipy.linalg as sla
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded generator - deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+def scipy_svdvals(A: np.ndarray) -> np.ndarray:
+    """Float64 LAPACK singular values (the accuracy oracle)."""
+    return np.asarray(sla.svdvals(np.asarray(A, dtype=np.float64)))
+
+
+def rel_err(computed: np.ndarray, reference: np.ndarray) -> float:
+    """Relative Frobenius error between sorted singular-value vectors."""
+    a = np.sort(np.asarray(computed, dtype=np.float64))[::-1]
+    b = np.sort(np.asarray(reference, dtype=np.float64))[::-1]
+    denom = max(np.linalg.norm(b), 1e-300)
+    return float(np.linalg.norm(a - b) / denom)

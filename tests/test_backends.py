@@ -1,0 +1,118 @@
+"""Tests for backend behaviour rules (support matrix, upcast, capacity)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import Backend, list_backends, resolve_backend
+from repro.errors import (
+    CapacityError,
+    UnsupportedBackendError,
+    UnsupportedPrecisionError,
+)
+from repro.precision import Precision
+
+
+class TestResolve:
+    def test_from_string(self):
+        be = resolve_backend("h100")
+        assert isinstance(be, Backend)
+        assert be.name == "nvidia-h100"
+
+    def test_from_backend_passthrough(self):
+        be = resolve_backend("mi250")
+        assert resolve_backend(be) is be
+
+    def test_from_device_spec(self):
+        from repro.backends.device import get_device
+
+        assert resolve_backend(get_device("pvc")).vendor == "intel"
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnsupportedBackendError):
+            resolve_backend(123)
+
+    def test_list_backends_covers_table2(self):
+        assert len(list_backends()) >= 6
+
+
+class TestSupportMatrix:
+    """The paper's Figure 5 support gaps."""
+
+    def test_nvidia_supports_all(self):
+        be = resolve_backend("h100")
+        for p in Precision:
+            assert be.supports(p)
+
+    def test_amd_rejects_fp16(self):
+        be = resolve_backend("mi250")
+        assert not be.supports("fp16")
+        with pytest.raises(UnsupportedPrecisionError, match="AMD"):
+            be.check_precision("fp16")
+
+    def test_apple_rejects_fp64(self):
+        be = resolve_backend("m1pro")
+        assert not be.supports("fp64")
+        with pytest.raises(UnsupportedPrecisionError, match="Metal"):
+            be.check_precision("fp64")
+
+    def test_apple_supports_fp16(self):
+        assert resolve_backend("m1pro").supports("fp16")
+
+    def test_intel_supports_fp32_fp64(self):
+        be = resolve_backend("pvc")
+        assert be.supports("fp32") and be.supports("fp64")
+        assert not be.supports("fp16")
+
+    def test_supports_garbage_false(self):
+        assert not resolve_backend("h100").supports("fp8")
+
+
+class TestComputePrecision:
+    """Section 4.3: FP16 upcast rules."""
+
+    def test_nvidia_fp16_computes_fp32(self):
+        be = resolve_backend("h100")
+        assert be.compute_precision("fp16") is Precision.FP32
+
+    def test_apple_fp16_native(self):
+        assert resolve_backend("m1pro").compute_precision("fp16") is Precision.FP16
+
+    def test_native_precisions_unchanged(self):
+        for name in ("h100", "mi250", "pvc"):
+            be = resolve_backend(name)
+            assert be.compute_precision("fp32") is Precision.FP32
+
+    def test_unsupported_raises(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            resolve_backend("mi250").compute_precision("fp16")
+
+
+class TestCapacity:
+    def test_within_capacity_ok(self):
+        resolve_backend("h100").check_capacity(1024, "fp32")
+
+    def test_rtx4060_rejects_65k_fp32(self):
+        with pytest.raises(CapacityError):
+            resolve_backend("rtx4060").check_capacity(65536, "fp32")
+
+    def test_h100_accepts_131k_fp16_only(self):
+        be = resolve_backend("h100")
+        be.check_capacity(131072, "fp16")
+        with pytest.raises(CapacityError):
+            be.check_capacity(131072, "fp32")
+
+    def test_max_n_consistent_with_check(self):
+        be = resolve_backend("m1pro")
+        cap = be.max_n("fp32")
+        be.check_capacity(cap, "fp32")
+        with pytest.raises(CapacityError):
+            be.check_capacity(cap + 1, "fp32")
+
+
+class TestAsarray:
+    def test_converts_dtype(self):
+        be = resolve_backend("h100")
+        a = np.ones((4, 4))
+        out = be.asarray(a, "fp16")
+        assert out.dtype == np.float16
+        assert out.flags["C_CONTIGUOUS"]

@@ -1,0 +1,124 @@
+"""Tests for the simulated comparator libraries."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import rel_err, scipy_svdvals
+from repro.baselines import (
+    BaselineLibrary,
+    get_baseline,
+    svd_flops,
+    vendor_baseline_for,
+)
+from repro.errors import (
+    CapacityError,
+    UnsupportedBackendError,
+    UnsupportedPrecisionError,
+)
+
+ALL = ["cusolver", "rocsolver", "onemkl", "magma", "slate", "lapack"]
+
+
+class TestRegistry:
+    def test_all_libraries_available(self):
+        for name in ALL:
+            assert isinstance(get_baseline(name), BaselineLibrary)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_baseline("cublas")
+
+    def test_vendor_mapping(self):
+        assert vendor_baseline_for("nvidia").name == "cusolver"
+        assert vendor_baseline_for("amd").name == "rocsolver"
+        assert vendor_baseline_for("intel").name == "onemkl"
+        with pytest.raises(KeyError):
+            vendor_baseline_for("apple")  # paper: MPS has no SVD
+
+    def test_svd_flops(self):
+        assert svd_flops(100) == pytest.approx((8 / 3) * 1e6)
+
+
+class TestConstraints:
+    def test_vendor_restrictions(self):
+        with pytest.raises(UnsupportedBackendError):
+            get_baseline("cusolver").predict_time(512, "mi250", "fp32")
+        with pytest.raises(UnsupportedBackendError):
+            get_baseline("rocsolver").predict_time(512, "h100", "fp32")
+        with pytest.raises(UnsupportedBackendError):
+            get_baseline("onemkl").predict_time(512, "h100", "fp32")
+
+    def test_addressing_limit_16384(self):
+        """Paper section 4.1: vendor solvers stop at 16k."""
+        for name, be in (("cusolver", "h100"), ("rocsolver", "mi250")):
+            lib = get_baseline(name)
+            lib.predict_time(16384, be, "fp32")
+            with pytest.raises(CapacityError):
+                lib.predict_time(16385, be, "fp32")
+
+    def test_no_library_supports_fp16(self):
+        """The paper's unified kernels are the first FP16 GPU SVD."""
+        for name in ALL:
+            lib = get_baseline(name)
+            assert not lib.supports(512, "h100", "fp16")
+
+    def test_fp16_raises(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            get_baseline("cusolver").predict_time(512, "h100", "fp16")
+
+    def test_supports_helper(self):
+        assert get_baseline("magma").supports(512, "h100", "fp32")
+        assert not get_baseline("magma").supports(512, "m1pro", "fp32")
+
+    def test_device_capacity_still_applies(self):
+        with pytest.raises(CapacityError):
+            get_baseline("magma").predict_time(60000, "rtx4060", "fp64")
+
+
+class TestTimingModels:
+    @pytest.mark.parametrize(
+        "name,backend",
+        [
+            ("cusolver", "h100"),
+            ("rocsolver", "mi250"),
+            ("onemkl", "pvc"),
+            ("magma", "h100"),
+            ("slate", "mi250"),
+            ("lapack", "h100"),
+        ],
+    )
+    def test_positive_and_monotone(self, name, backend):
+        lib = get_baseline(name)
+        ts = [lib.predict_time(n, backend, "fp32") for n in (256, 1024, 4096)]
+        assert all(t > 0 for t in ts)
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_fp64_slower_than_fp32_at_scale(self):
+        lib = get_baseline("magma")
+        assert lib.predict_time(8192, "h100", "fp64") > lib.predict_time(
+            8192, "h100", "fp32"
+        )
+
+    def test_slate_consumer_penalty(self):
+        lib = get_baseline("slate")
+        t_hpc = lib.predict_time(2048, "a100", "fp32")
+        t_laptop = lib.predict_time(2048, "rtx4060", "fp32")
+        assert t_laptop > 20 * t_hpc
+
+
+class TestNumericOracle:
+    def test_accuracy_fp64(self, rng):
+        A = rng.standard_normal((48, 48))
+        got = get_baseline("cusolver").svdvals(A, "fp64")
+        assert rel_err(got, scipy_svdvals(A)) < 1e-13
+
+    def test_fp32_rounding_applied(self, rng):
+        A = rng.standard_normal((48, 48))
+        got = get_baseline("cusolver").svdvals(A, "fp32")
+        # computed through float32: error ~1e-7, definitely not 1e-13
+        err = rel_err(got, scipy_svdvals(A))
+        assert 1e-9 < err < 1e-5
+
+    def test_fp16_oracle_rejected(self, rng):
+        with pytest.raises(UnsupportedPrecisionError):
+            get_baseline("cusolver").svdvals(rng.standard_normal((8, 8)), "fp16")

@@ -1,0 +1,91 @@
+"""Tests for the batched SVD extension."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import rel_err, scipy_svdvals
+from repro.core import predict_batched, svdvals, svdvals_batched
+from repro.errors import CapacityError, ShapeError
+
+
+class TestNumerics:
+    def test_matches_per_matrix_results(self, rng):
+        As = rng.standard_normal((5, 40, 40))
+        vals = svdvals_batched(As, backend="h100", precision="fp64")
+        assert vals.shape == (5, 40)
+        for i in range(5):
+            np.testing.assert_array_equal(vals[i], svdvals(As[i]))
+
+    def test_accepts_sequences(self, rng):
+        mats = [rng.standard_normal((16, 16)) for _ in range(3)]
+        vals = svdvals_batched(mats)
+        for i, a in enumerate(mats):
+            assert rel_err(vals[i], scipy_svdvals(a)) < 1e-12
+
+    def test_fp32(self, rng):
+        As = rng.standard_normal((3, 32, 32)).astype(np.float32)
+        vals = svdvals_batched(As, precision="fp32")
+        for i in range(3):
+            assert rel_err(vals[i], scipy_svdvals(As[i])) < 5e-6
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            svdvals_batched(rng.standard_normal((4, 4)))  # 2-D
+        with pytest.raises(ShapeError):
+            svdvals_batched([])
+        with pytest.raises(ShapeError):
+            svdvals_batched([np.zeros((4, 4)), np.zeros((5, 5))])
+
+    def test_info_is_batched_breakdown(self, rng):
+        As = rng.standard_normal((3, 32, 32))
+        _, bd = svdvals_batched(As, return_info=True)
+        assert bd.total_s > 0
+        assert any(k.endswith("_b") for k in bd.launches)
+
+
+class TestBatchedModel:
+    def test_batching_beats_sequential_small(self):
+        """The point of batching: amortized launches + occupancy for the
+        small sizes where the paper's kernels lose to tuned libraries."""
+        n, batch = 128, 64
+        from repro.sim import predict
+
+        seq = batch * predict(n, "h100", "fp32", check_capacity=False).total_s
+        bat = predict_batched(n, batch, "h100", "fp32").total_s
+        assert bat < seq / 3
+
+    def test_batched_advantage_shrinks_with_size(self):
+        from repro.sim import predict
+
+        def gain(n):
+            seq = 8 * predict(n, "h100", "fp32", check_capacity=False).total_s
+            return seq / predict_batched(n, 8, "h100", "fp32").total_s
+
+        assert gain(128) > gain(2048)
+
+    def test_flops_scale_with_batch(self):
+        b1 = predict_batched(256, 1, "h100", "fp32")
+        b8 = predict_batched(256, 8, "h100", "fp32")
+        assert b8.flops == pytest.approx(8 * b1.flops, rel=1e-6)
+        assert b8.total_s < 8 * b1.total_s
+
+    def test_launch_count_independent_of_batch(self):
+        b1 = predict_batched(256, 1, "h100", "fp32")
+        b64 = predict_batched(256, 64, "h100", "fp32")
+        assert b1.launch_total == b64.launch_total
+
+    def test_capacity_guard(self):
+        with pytest.raises(CapacityError):
+            predict_batched(8192, 100000, "h100", "fp32")
+
+    def test_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            predict_batched(0, 4, "h100", "fp32")
+        with pytest.raises(ShapeError):
+            predict_batched(64, 0, "h100", "fp32")
+
+    def test_panel_rounds_beyond_sm_count(self):
+        """More concurrent panel bodies than SMs serialize into rounds."""
+        small = predict_batched(64, 100, "h100", "fp32").panel_s
+        large = predict_batched(64, 400, "h100", "fp32").panel_s
+        assert large > small * 2

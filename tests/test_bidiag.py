@@ -1,0 +1,206 @@
+"""Tests for the bidiagonal singular value solvers (stage 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import rel_err, scipy_svdvals
+from repro.core.bidiag import (
+    bisect,
+    golub_kahan,
+    singular_2x2,
+    svdvals_bidiag,
+)
+
+
+def bidiag_dense(d, e):
+    n = len(d)
+    B = np.diag(np.asarray(d, dtype=np.float64))
+    if n > 1:
+        B += np.diag(np.asarray(e, dtype=np.float64), 1)
+    return B
+
+
+def reference(d, e):
+    return scipy_svdvals(bidiag_dense(d, e))
+
+
+SOLVERS = [golub_kahan, bisect]
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestSolverBasics:
+    def test_random(self, rng, solver):
+        n = 40
+        d, e = rng.standard_normal(n), rng.standard_normal(n - 1)
+        got = solver(d, e)
+        assert rel_err(got, reference(d, e)) < 1e-12
+
+    def test_descending_nonnegative(self, rng, solver):
+        d, e = rng.standard_normal(30), rng.standard_normal(29)
+        got = solver(d, e)
+        assert np.all(got >= 0)
+        assert np.all(np.diff(got) <= 0)
+
+    def test_diagonal_matrix(self, solver, rng):
+        d = rng.standard_normal(20)
+        got = solver(d, np.zeros(19))
+        np.testing.assert_allclose(got, np.sort(np.abs(d))[::-1], atol=1e-14)
+
+    def test_single_element(self, solver):
+        np.testing.assert_allclose(solver(np.array([-3.0]), np.zeros(0)), [3.0])
+
+    def test_zero_matrix(self, solver):
+        got = solver(np.zeros(10), np.zeros(9))
+        np.testing.assert_array_equal(got, np.zeros(10))
+
+    def test_zero_diagonal_entries(self, solver, rng):
+        d = rng.standard_normal(16)
+        e = rng.standard_normal(15)
+        d[[3, 8]] = 0.0
+        got = solver(d, e)
+        assert rel_err(got, reference(d, e)) < 1e-11
+
+    def test_split_blocks(self, solver, rng):
+        """Interior zero superdiagonals split the problem."""
+        d = rng.standard_normal(20)
+        e = rng.standard_normal(19)
+        e[[4, 11]] = 0.0
+        got = solver(d, e)
+        assert rel_err(got, reference(d, e)) < 1e-12
+
+    def test_graded(self, solver):
+        n = 24
+        d = np.logspace(0, -12, n)
+        e = np.logspace(-1, -13, n - 1)
+        got = solver(d, e)
+        # absolute accuracy relative to sigma_max
+        assert np.max(np.abs(got - reference(d, e))) < 1e-13
+
+    def test_pairwise_close_values(self, solver):
+        """Clustered singular values must all be found."""
+        d = np.ones(12)
+        e = np.full(11, 1e-8)
+        got = solver(d, e)
+        assert rel_err(got, reference(d, e)) < 1e-12
+
+    def test_negative_entries(self, solver, rng):
+        d = -np.abs(rng.standard_normal(15))
+        e = -np.abs(rng.standard_normal(14))
+        assert rel_err(solver(d, e), reference(d, e)) < 1e-12
+
+    def test_length_mismatch(self, solver):
+        with pytest.raises(ValueError):
+            solver(np.ones(5), np.ones(5))
+
+    def test_empty(self, solver):
+        assert solver(np.zeros(0), np.zeros(0)).shape == (0,)
+
+
+class TestGolubKahanSpecifics:
+    def test_2x2_closed_form(self):
+        smin, smax = singular_2x2(3.0, 4.0, 5.0)
+        ref = np.linalg.svd(np.array([[3.0, 4.0], [0.0, 5.0]]), compute_uv=False)
+        assert smax == pytest.approx(ref[0], rel=1e-14)
+        assert smin == pytest.approx(ref[1], rel=1e-14)
+
+    def test_2x2_zero_cases(self):
+        assert singular_2x2(0.0, 0.0, 0.0) == (0.0, 0.0)
+        smin, smax = singular_2x2(0.0, 3.0, 4.0)
+        assert smin == 0.0
+        assert smax == pytest.approx(5.0)
+
+    def test_2x2_large_g(self):
+        smin, smax = singular_2x2(1.0, 1e8, 1.0)
+        ref = np.linalg.svd(np.array([[1.0, 1e8], [0.0, 1.0]]), compute_uv=False)
+        assert smax == pytest.approx(ref[0], rel=1e-12)
+        assert smin == pytest.approx(ref[1], rel=1e-8)
+
+    def test_large_matrix(self, rng):
+        n = 300
+        d, e = rng.standard_normal(n), rng.standard_normal(n - 1)
+        assert rel_err(golub_kahan(d, e), reference(d, e)) < 1e-11
+
+    def test_inputs_not_mutated(self, rng):
+        d = rng.standard_normal(10)
+        e = rng.standard_normal(9)
+        d0, e0 = d.copy(), e.copy()
+        golub_kahan(d, e)
+        np.testing.assert_array_equal(d, d0)
+        np.testing.assert_array_equal(e, e0)
+
+
+class TestBisectSpecifics:
+    def test_matches_gk(self, rng):
+        n = 64
+        d, e = rng.standard_normal(n), rng.standard_normal(n - 1)
+        np.testing.assert_allclose(
+            bisect(d, e), golub_kahan(d, e), atol=1e-10 * np.abs(d).max()
+        )
+
+    def test_large_matrix(self, rng):
+        n = 600
+        d, e = rng.standard_normal(n), rng.standard_normal(n - 1)
+        got = bisect(d, e)
+        assert np.max(np.abs(got - reference(d, e))) < 1e-10 * got[0]
+
+    def test_scaled_spectrum(self, rng):
+        d = 1e6 * rng.standard_normal(20)
+        e = 1e6 * rng.standard_normal(19)
+        assert rel_err(bisect(d, e), reference(d, e)) < 1e-12
+
+
+class TestDispatcher:
+    def test_auto_small_uses_gk(self, rng):
+        d, e = rng.standard_normal(10), rng.standard_normal(9)
+        np.testing.assert_array_equal(
+            svdvals_bidiag(d, e, "auto"), golub_kahan(d, e)
+        )
+
+    def test_explicit_methods(self, rng):
+        d, e = rng.standard_normal(10), rng.standard_normal(9)
+        for method in ("gk", "bisect", "lapack"):
+            got = svdvals_bidiag(d, e, method)
+            assert rel_err(got, reference(d, e)) < 1e-10
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            svdvals_bidiag(np.ones(3), np.ones(2), "magic")
+
+
+class TestProperties:
+    @given(
+        n=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+        scale=st.floats(1e-8, 1e8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gk_property(self, n, seed, scale):
+        rng = np.random.default_rng(seed)
+        d = scale * rng.standard_normal(n)
+        e = scale * rng.standard_normal(max(0, n - 1))
+        got = golub_kahan(d, e)
+        ref = reference(d, e)
+        assert np.max(np.abs(got - ref)) <= 1e-11 * max(ref[0], 1e-300)
+
+    @given(n=st.integers(1, 40), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_bisect_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(max(0, n - 1))
+        got = bisect(d, e)
+        ref = reference(d, e)
+        assert np.max(np.abs(got - ref)) <= 1e-10 * max(ref[0], 1e-300)
+
+    @given(n=st.integers(2, 30), seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_frobenius_invariant(self, n, seed):
+        """sum(sigma^2) == ||B||_F^2 (exact invariant of the SVD)."""
+        rng = np.random.default_rng(seed)
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        got = golub_kahan(d, e)
+        fro2 = float(d @ d + e @ e)
+        assert np.sum(got**2) == pytest.approx(fro2, rel=1e-10)

@@ -1,0 +1,141 @@
+"""Tests for the band -> bidiagonal bulge chasing (stage 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import rel_err, scipy_svdvals
+from repro.core.brd import band_to_bidiagonal, givens
+from repro.core.tiling import extract_band
+from repro.errors import ShapeError
+
+
+def random_band(rng, n, band):
+    """Random upper-band matrix with bandwidth ``band``."""
+    return extract_band(rng.standard_normal((n, n)), band)
+
+
+def bidiag_dense(d, e):
+    n = len(d)
+    B = np.diag(d)
+    if n > 1:
+        B += np.diag(e, 1)
+    return B
+
+
+class TestGivens:
+    def test_annihilation(self):
+        c, s, r = givens(3.0, 4.0)
+        assert -s * 3.0 + c * 4.0 == pytest.approx(0.0)
+        assert c * 3.0 + s * 4.0 == pytest.approx(r)
+        assert c * c + s * s == pytest.approx(1.0)
+
+    def test_zero_g(self):
+        assert givens(2.0, 0.0) == (1.0, 0.0, 2.0)
+
+    def test_zero_f(self):
+        c, s, r = givens(0.0, 5.0)
+        assert (c, s, r) == (0.0, 1.0, 5.0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,band", [(16, 4), (33, 8), (64, 16), (50, 32)])
+    def test_result_is_bidiagonal_equivalent(self, rng, n, band):
+        A = random_band(rng, n, band)
+        d, e = band_to_bidiagonal(A, band)
+        assert d.shape == (n,) and e.shape == (n - 1,)
+        assert rel_err(scipy_svdvals(bidiag_dense(d, e)), scipy_svdvals(A)) < 1e-12
+
+    def test_already_bidiagonal_passthrough(self, rng):
+        n = 12
+        d0 = rng.standard_normal(n)
+        e0 = rng.standard_normal(n - 1)
+        d, e = band_to_bidiagonal(bidiag_dense(d0, e0), 1)
+        np.testing.assert_array_equal(d, d0)
+        np.testing.assert_array_equal(e, e0)
+
+    def test_band_larger_than_matrix(self, rng):
+        """Dense upper-triangular input (band >= n)."""
+        n = 12
+        A = np.triu(rng.standard_normal((n, n)))
+        d, e = band_to_bidiagonal(A, n + 5)
+        assert rel_err(scipy_svdvals(bidiag_dense(d, e)), scipy_svdvals(A)) < 1e-12
+
+    def test_inplace_flag(self, rng):
+        A = random_band(rng, 16, 4)
+        A0 = A.copy()
+        band_to_bidiagonal(A, 4, inplace=False)
+        np.testing.assert_array_equal(A, A0)
+        band_to_bidiagonal(A, 4, inplace=True)
+        assert not np.array_equal(A, A0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            band_to_bidiagonal(np.zeros((3, 4)), 2)
+
+    def test_tiny_matrices(self, rng):
+        for n in (1, 2):
+            A = np.triu(rng.standard_normal((n, n)))
+            d, e = band_to_bidiagonal(A, max(1, n - 1))
+            assert d.shape == (n,)
+            assert e.shape == (max(0, n - 1),)
+
+
+class TestNumericalCases:
+    def test_zero_matrix(self):
+        d, e = band_to_bidiagonal(np.zeros((10, 10)), 4)
+        np.testing.assert_array_equal(d, 0.0)
+        np.testing.assert_array_equal(e, 0.0)
+
+    def test_zero_padded_band(self, rng):
+        """Trailing zero rows/cols (driver padding) survive the chase."""
+        n, npad, band = 20, 32, 8
+        A = np.zeros((npad, npad))
+        A[:n, :n] = random_band(rng, n, band)
+        d, e = band_to_bidiagonal(A, band)
+        sv = scipy_svdvals(bidiag_dense(d, e))
+        np.testing.assert_allclose(sv[n:], 0.0, atol=1e-12)
+        assert rel_err(sv[:n], scipy_svdvals(A[:n, :n])) < 1e-12
+
+    def test_graded_band(self, rng):
+        """Strongly graded entries must not destroy small singular values."""
+        n, band = 24, 6
+        A = random_band(rng, n, band)
+        scale = np.logspace(0, -10, n)
+        A = A * scale[:, None]
+        d, e = band_to_bidiagonal(A, band)
+        ref = scipy_svdvals(A)
+        got = scipy_svdvals(bidiag_dense(d, e))
+        assert rel_err(got, ref) < 1e-10
+
+    def test_float32_input(self, rng):
+        A = random_band(rng, 24, 8).astype(np.float32)
+        d, e = band_to_bidiagonal(A, 8)
+        assert d.dtype == np.float32
+        assert rel_err(
+            scipy_svdvals(bidiag_dense(d.astype(np.float64), e.astype(np.float64))),
+            scipy_svdvals(A),
+        ) < 1e-5
+
+    @given(
+        n=st.integers(3, 24),
+        band=st.integers(2, 8),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_sv_preservation(self, n, band, seed):
+        rng = np.random.default_rng(seed)
+        A = random_band(rng, n, min(band, n - 1))
+        d, e = band_to_bidiagonal(A, min(band, n - 1))
+        assert rel_err(scipy_svdvals(bidiag_dense(d, e)), scipy_svdvals(A)) < 1e-11
+
+
+class TestSessionCharge:
+    def test_brd_cost_recorded(self, rng):
+        from repro.sim import Session, Stage
+
+        sess = Session.create("h100", "fp64")
+        A = random_band(rng, 64, 32)
+        band_to_bidiagonal(A, 32, session=sess)
+        assert sess.tracer.stage_seconds(Stage.BRD) > 0.0

@@ -1,0 +1,31 @@
+"""Tests for the experiments CLI entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_no_args_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_runs_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_runs_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation" in out and "SPLITK" in out
+
+    def test_case_insensitive(self, capsys):
+        assert main(["FIG6"]) == 0

@@ -1,0 +1,108 @@
+"""Tests for the Table 2 device registry."""
+
+import pytest
+
+from repro.backends.device import (
+    DeviceSpec,
+    Vendor,
+    get_device,
+    list_devices,
+    register_device,
+)
+from repro.errors import UnsupportedBackendError
+
+
+class TestRegistry:
+    def test_six_paper_devices(self):
+        names = {d.name for d in list_devices()}
+        assert {"h100", "a100", "rtx4060", "mi250", "m1pro", "pvc"} <= names
+
+    def test_lookup_by_name_and_alias(self):
+        assert get_device("h100").name == "h100"
+        assert get_device("nvidia-h100").name == "h100"
+        assert get_device("metal").name == "m1pro"
+        assert get_device("MI250").vendor == Vendor.AMD
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(UnsupportedBackendError):
+            get_device("tpu-v5")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_device(
+                DeviceSpec(
+                    name="h100",
+                    vendor=Vendor.AMD,  # different spec, same name
+                    sm_count=1,
+                    l1_kb=1,
+                    l2_mb=1,
+                    mem_gb=1,
+                    bandwidth_gbs=1,
+                    peak_fp32_tflops=1,
+                    boost_mhz=1,
+                )
+            )
+
+
+class TestTable2Values:
+    """Spot checks against the transcribed Table 2."""
+
+    def test_h100(self):
+        d = get_device("h100")
+        assert d.sm_count == 132
+        assert d.l1_kb == 256
+        assert d.mem_gb == 80
+        assert d.bandwidth_gbs == 3360
+        assert d.peak_fp32_tflops == 67.0
+        assert d.boost_mhz == 1980
+        assert d.warp_size == 32
+
+    def test_mi250(self):
+        d = get_device("mi250")
+        assert d.sm_count == 208
+        assert d.l1_kb == 16
+        assert d.mem_gb == 128
+        assert d.warp_size == 64  # AMD wavefront
+
+    def test_rtx4060_is_consumer(self):
+        assert not get_device("rtx4060").is_hpc
+        assert get_device("h100").is_hpc
+
+    def test_m1pro_estimates_flagged(self):
+        assert get_device("m1pro").estimated
+        assert not get_device("h100").estimated
+
+
+class TestDerived:
+    def test_peak_flops_fp64_ratio(self):
+        d = get_device("h100")
+        assert d.peak_flops(8) == pytest.approx(d.peak_flops_fp32 * 0.5)
+        assert d.peak_flops(4) == d.peak_flops_fp32
+        assert d.peak_flops(2) == d.peak_flops_fp32  # FP16 at FP32 rate
+
+    def test_effective_bandwidth_below_peak(self):
+        d = get_device("mi250")
+        assert d.effective_bandwidth < d.bandwidth_bytes
+        assert get_device("h100").effective_bandwidth == get_device(
+            "h100"
+        ).bandwidth_bytes
+
+    def test_max_square_n_scaling(self):
+        d = get_device("h100")
+        # FP16 doubles the largest resident size vs FP32 (paper sec. 4.3)
+        assert d.max_square_n(2) == pytest.approx(
+            d.max_square_n(4) * 2**0.5, rel=0.01
+        )
+
+    def test_h100_fp16_reaches_131k(self):
+        # paper: FP16 enables GPU-resident sizes up to 131k x 131k
+        assert get_device("h100").max_square_n(2) >= 131072
+
+    def test_rtx4060_fp32_caps_near_32k(self):
+        # paper: "RTX4060 is limited to 32k due to memory size"
+        cap = get_device("rtx4060").max_square_n(4)
+        assert 32768 <= cap < 65536
+
+    def test_launch_overhead_seconds(self):
+        d = get_device("h100")
+        assert d.launch_overhead_s == pytest.approx(d.launch_overhead_us * 1e-6)

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConvergenceError,
+    InvalidParamsError,
+    ReproError,
+    ShapeError,
+    UnsupportedBackendError,
+    UnsupportedPrecisionError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (
+        UnsupportedPrecisionError,
+        UnsupportedBackendError,
+        CapacityError,
+        InvalidParamsError,
+        ConvergenceError,
+        ShapeError,
+    ):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise CapacityError("boom")
+
+
+def test_library_raises_only_repro_errors_for_bad_config():
+    import numpy as np
+
+    from repro.core import svdvals
+
+    bad_calls = [
+        lambda: svdvals(np.zeros((4, 5))),
+        lambda: svdvals(np.zeros((4, 4)), backend="nope"),
+        lambda: svdvals(np.zeros((4, 4)), backend="mi250", precision="fp16"),
+    ]
+    for call in bad_calls:
+        with pytest.raises(ReproError):
+            call()

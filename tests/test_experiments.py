@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (reduced workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, common, fig5, fig6, ratios, table1, table3
+from repro.precision import Precision
+
+
+class TestCommon:
+    def test_grids(self):
+        assert common.SIZES_VENDOR[-1] == 16384
+        assert common.SIZES_HPC[-1] == 32768
+
+    def test_table1_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert max(common.table1_sizes()) <= 512
+        assert common.table1_runs() == 3
+
+    def test_full_run_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert common.full_run()
+        assert common.table1_runs() == 10
+        assert 16384 in common.table1_sizes()
+
+
+class TestTable1:
+    def test_reduced_run(self):
+        rows = table1.run(sizes=[48], runs=1)
+        assert len(rows) == 1
+        row = rows[0]
+        # error magnitudes per precision (Table 1 orders of magnitude)
+        assert row.unified["fp64"] < 1e-12
+        assert 1e-9 < row.unified["fp32"] < 1e-5
+        assert 1e-6 < row.unified["fp16"] < 5e-2
+        # the FP16 column has no reference library (paper: first FP16 SVD)
+        assert row.reference["fp16"] is None
+        assert row.reference["fp64"] is not None
+
+    def test_unified_tracks_reference(self):
+        rows = table1.run(sizes=[64], runs=1)
+        r = rows[0]
+        # unified error within 100x of the LAPACK-backed reference
+        assert r.unified["fp64"] < 100 * r.reference["fp64"]
+
+    def test_render(self):
+        rows = table1.run(sizes=[32], runs=1)
+        out = table1.render(rows)
+        assert "Table 1" in out and "32" in out
+
+    def test_relative_error_helper(self):
+        assert table1.relative_error(np.ones(3), np.ones(3)) == 0.0
+        assert table1.relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+
+class TestTable3:
+    def test_cells_cover_grid(self):
+        cells = table3.run(sizes=[512, 32768])
+        assert len(cells) == 2 * 2 * len(table3.CONFIGS)
+        studies = {c.study for c in cells}
+        assert studies == {"tilesize", "colperblock"}
+
+    def test_render(self):
+        out = table3.render(table3.run(sizes=[512]), sizes=[512])
+        assert "TILESIZE" in out and "COLPERBLOCK" in out
+
+
+class TestRatios:
+    def test_fig4_shapes(self):
+        curves = ratios.fig4_curves()
+        assert len(curves) == len(ratios.FIG4_PAIRS)
+        for c in curves:
+            assert len(c.sizes) == len(c.ratios)
+            assert max(c.sizes) <= 16384
+            assert all(r > 0 for r in c.ratios)
+
+    def test_fig3_reaches_32k(self):
+        curves = ratios.fig3_curves()
+        assert any(32768 in c.sizes for c in curves)
+
+    def test_table4_structure(self):
+        t4 = ratios.table4()
+        assert "vendor" in t4["h100"]
+        assert "magma" in t4["h100"] and "slate" in t4["mi250"]
+        out = ratios.render_table4(t4)
+        assert "Table 4" in out
+
+    def test_render_curves(self):
+        out = ratios.render_curves(ratios.fig4_curves(), "Figure 4")
+        assert "h100/cusolver" in out
+
+    def test_curve_aggregates(self):
+        c = ratios.ratio_curve("mi250", "rocsolver", sizes=(512, 1024))
+        lo, hi = c.range
+        assert lo <= c.geomean <= hi
+
+
+class TestFig5:
+    def test_support_and_capacity_structure(self):
+        series = fig5.run()
+        bykey = {(s.backend, s.precision): s for s in series}
+        assert not bykey[("mi250", "fp16")].supported
+        assert not bykey[("m1pro", "fp64")].supported
+        h100_16 = bykey[("h100", "fp16")]
+        assert h100_16.supported and 131072 in h100_16.sizes
+        h100_32 = bykey[("h100", "fp32")]
+        assert 131072 not in h100_32.sizes  # OOM (paper Figure 5)
+
+    def test_fp16_fp32_nearly_identical_on_nvidia(self):
+        series = fig5.run(devices=("h100",), sizes=(4096,))
+        t = {s.precision: s.seconds[0] for s in series if s.supported}
+        assert t["fp16"] == pytest.approx(t["fp32"], rel=0.1)
+
+    def test_render(self):
+        out = fig5.render(fig5.run(devices=("h100",), sizes=(1024, 2048)))
+        assert "Figure 5" in out
+
+
+class TestFig6:
+    def test_rows_and_shares(self):
+        rows = fig6.run(devices=("h100",), sizes=(512, 8192))
+        assert len(rows) == 2
+        for r in rows:
+            assert r.panel + r.update + r.brd + r.solve == pytest.approx(1.0)
+
+    def test_stage1_grows(self):
+        rows = fig6.run(devices=("h100",), sizes=(512, 16384))
+        assert rows[1].stage1 > rows[0].stage1
+
+    def test_render(self):
+        assert "Figure 6" in fig6.render(fig6.run(devices=("h100",), sizes=(512,)))
+
+
+class TestAblations:
+    def test_fusion_scaling(self):
+        rows = ablations.run_fusion(sizes=(1024, 2048, 4096))
+        for r in rows:
+            assert r.launches_fused < r.launches_unfused
+            assert r.speedup > 1.0
+        # unfused launches quadruple per size doubling, fused double
+        l_u = [r.launches_unfused for r in rows]
+        assert 3.5 < l_u[1] / l_u[0] < 4.5
+
+    def test_splitk_sweep(self):
+        rows = ablations.run_splitk(n=4096, values=(1, 8))
+        assert rows[0].panel_seconds > rows[1].panel_seconds  # SK=8 helps
+
+    def test_renders(self):
+        assert "Ablation" in ablations.render_fusion(ablations.run_fusion(sizes=(512,)))
+        assert "SPLITK" in ablations.render_splitk(ablations.run_splitk(values=(1, 2)))

@@ -1,0 +1,97 @@
+"""Tests for the fused FTSQRT/FTSMQR kernels (Figure 2).
+
+The defining property: fused kernels execute exactly the same operations
+in the same order as the unfused sequence, so results are bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt
+
+EPS64 = float(np.finfo(np.float64).eps)
+
+
+def make_panel(rng, ts, nrows, m):
+    top = rng.standard_normal((ts, ts))
+    R = top.copy()
+    tau_g = np.zeros(ts)
+    geqrt(R, tau_g, EPS64)
+    R = np.triu(R).copy()
+    below = [rng.standard_normal((ts, ts)) for _ in range(nrows)]
+    Y = rng.standard_normal((ts, m))
+    Xs = [rng.standard_normal((ts, m)) for _ in range(nrows)]
+    return R, below, Y, Xs
+
+
+class TestFtsqrtEquivalence:
+    @pytest.mark.parametrize("nrows", [1, 2, 4])
+    def test_bit_identical_to_sequential(self, rng, nrows):
+        ts = 8
+        R, below, _, _ = make_panel(rng, ts, nrows, 4)
+
+        Rf = R.copy()
+        Bf = [b.copy() for b in below]
+        tf = [np.zeros(ts) for _ in range(nrows)]
+        ftsqrt(Rf, Bf, tf, EPS64)
+
+        Ru = R.copy()
+        Bu = [b.copy() for b in below]
+        tu = [np.zeros(ts) for _ in range(nrows)]
+        for B, tau in zip(Bu, tu):
+            tsqrt(Ru, B, tau, EPS64)
+
+        np.testing.assert_array_equal(Rf, Ru)
+        for a, b in zip(Bf, Bu):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(tf, tu):
+            np.testing.assert_array_equal(a, b)
+
+    def test_empty_panel_noop(self, rng):
+        R = np.triu(rng.standard_normal((4, 4)))
+        R0 = R.copy()
+        ftsqrt(R, [], [], EPS64)
+        np.testing.assert_array_equal(R, R0)
+
+    def test_mismatched_taus(self, rng):
+        R = np.triu(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError):
+            ftsqrt(R, [np.zeros((4, 4))], [], EPS64)
+
+
+class TestFtsmqrEquivalence:
+    @pytest.mark.parametrize("nrows", [1, 3])
+    def test_bit_identical_to_sequential(self, rng, nrows):
+        ts, m = 8, 12
+        R, below, Y, Xs = make_panel(rng, ts, nrows, m)
+        Bf = [b.copy() for b in below]
+        taus = [np.zeros(ts) for _ in range(nrows)]
+        ftsqrt(R.copy(), Bf, taus, EPS64)
+
+        Yf, Xf = Y.copy(), [x.copy() for x in Xs]
+        ftsmqr(Bf, taus, Yf, Xf)
+
+        Yu, Xu = Y.copy(), [x.copy() for x in Xs]
+        for V, tau, X in zip(Bf, taus, Xu):
+            tsmqr(V, tau, Yu, X)
+
+        np.testing.assert_array_equal(Yf, Yu)
+        for a, b in zip(Xf, Xu):
+            np.testing.assert_array_equal(a, b)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ftsmqr([np.zeros((4, 4))], [], np.zeros((4, 2)), [np.zeros((4, 2))])
+
+    def test_fp16_storage_roundtrip(self, rng):
+        ts, m, nrows = 4, 6, 2
+        R = np.triu(rng.standard_normal((ts, ts))).astype(np.float16)
+        below = [rng.standard_normal((ts, ts)).astype(np.float16) for _ in range(nrows)]
+        taus = [np.zeros(ts, dtype=np.float32) for _ in range(nrows)]
+        ftsqrt(R, below, taus, float(np.finfo(np.float16).eps),
+               compute_dtype=np.float32)
+        Y = rng.standard_normal((ts, m)).astype(np.float16)
+        Xs = [rng.standard_normal((ts, m)).astype(np.float16) for _ in range(nrows)]
+        ftsmqr(below, taus, Y, Xs, compute_dtype=np.float32)
+        assert Y.dtype == np.float16
+        assert all(np.isfinite(x.astype(np.float64)).all() for x in Xs)

@@ -1,0 +1,114 @@
+"""Tests for the normalized Householder reflector math (Algorithm 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.householder import apply_factor, make_reflector
+
+EPS64 = float(np.finfo(np.float64).eps)
+
+
+def reflector_matrix(col: np.ndarray, eps: float) -> np.ndarray:
+    """Build the explicit H = I - tau v v^T for a column's reflector."""
+    alpha = float(col[0])
+    u = np.asarray(col[1:], dtype=np.float64)
+    sigma2 = float(u @ u)
+    x, tau, clamped = make_reflector(alpha, sigma2, eps)
+    v = np.concatenate(([1.0], np.zeros_like(u) if clamped else u / x))
+    return np.eye(len(col)) - tau * np.outer(v, v), x, tau
+
+
+class TestMakeReflector:
+    def test_annihilates_column(self, rng):
+        col = rng.standard_normal(8)
+        H, _, _ = reflector_matrix(col, EPS64)
+        out = H @ col
+        np.testing.assert_allclose(out[1:], 0.0, atol=1e-12 * np.abs(col).max())
+
+    def test_preserves_norm(self, rng):
+        col = rng.standard_normal(8)
+        H, _, _ = reflector_matrix(col, EPS64)
+        assert abs(np.linalg.norm(H @ col) - np.linalg.norm(col)) < 1e-12
+
+    def test_orthogonality(self, rng):
+        col = rng.standard_normal(6)
+        H, _, _ = reflector_matrix(col, EPS64)
+        np.testing.assert_allclose(H @ H.T, np.eye(6), atol=1e-13)
+
+    def test_stable_root_sign(self):
+        # x = alpha + sign(alpha) * sqrt(...): no cancellation
+        x, _, _ = make_reflector(3.0, 4.0 * 4.0, EPS64)
+        assert x == pytest.approx(3.0 + 5.0)
+        x, _, _ = make_reflector(-3.0, 16.0, EPS64)
+        assert x == pytest.approx(-3.0 - 5.0)
+
+    def test_tau_hat_range(self, rng):
+        for _ in range(50):
+            alpha = float(rng.standard_normal())
+            sigma2 = float(rng.random())
+            _, tau, _ = make_reflector(alpha, sigma2, EPS64)
+            assert 1.0 - 1e-12 <= tau <= 2.0 + 1e-12
+
+    def test_small_reflector_correction(self):
+        """Algorithm 3 lines 14-15: zero column -> pure sign flip."""
+        x, tau, clamped = make_reflector(0.0, 0.0, EPS64)
+        assert x == pytest.approx(10.0 * EPS64)
+        assert tau == 2.0
+        assert clamped
+
+    def test_small_reflector_triggers_below_threshold(self):
+        x, tau, clamped = make_reflector(EPS64, 0.0, EPS64)
+        assert x == pytest.approx(10.0 * EPS64)
+        assert tau == 2.0
+        assert clamped
+
+    def test_zero_tail_nonzero_pivot(self):
+        # alpha large, no tail: H should flip sign of the pivot
+        x, tau, _ = make_reflector(2.0, 0.0, EPS64)
+        assert tau == pytest.approx(2.0)
+        assert x == pytest.approx(4.0)
+        # updated pivot = alpha - tau*(alpha + 0/x) = -alpha
+        assert 2.0 - tau * (2.0 + 0.0 / x) == pytest.approx(-2.0)
+
+    @given(
+        alpha=st.floats(-1e6, 1e6, allow_nan=False),
+        sigma=st.floats(0.0, 1e6, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_orthogonal_tau(self, alpha, sigma):
+        sigma2 = sigma * sigma
+        x, tau, clamped = make_reflector(alpha, sigma2, EPS64)
+        assert math.isfinite(x) and math.isfinite(tau)
+        assert x != 0.0
+        # tau = 2 / (v'v) with v = [1, u/x]: check within roundoff
+        if not clamped:
+            vtv = 1.0 + sigma2 / (x * x)
+            assert tau * vtv == pytest.approx(2.0, rel=1e-10)
+
+    @given(
+        alpha=st.floats(-100, 100, allow_nan=False),
+        sigma=st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_beta_magnitude(self, alpha, sigma):
+        """New pivot magnitude equals the column norm (orthogonal invariance)."""
+        sigma2 = sigma * sigma
+        x, tau, clamped = make_reflector(alpha, sigma2, EPS64)
+        if clamped:
+            return
+        beta = alpha - tau * (alpha + sigma2 / x)
+        norm = math.sqrt(alpha * alpha + sigma2)
+        assert abs(beta) == pytest.approx(norm, rel=1e-8, abs=1e-12)
+
+
+class TestApplyFactor:
+    def test_vectorized(self):
+        rho = apply_factor(2.0, 4.0, np.array([1.0, 2.0]), np.array([4.0, 8.0]))
+        np.testing.assert_allclose(rho, [4.0, 8.0])
+
+    def test_scalar(self):
+        assert apply_factor(1.0, 2.0, 3.0, 4.0) == pytest.approx(5.0)

@@ -1,0 +1,108 @@
+"""Tests for the random test-matrix substrate."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import rel_err, scipy_svdvals
+from repro.matrices import (
+    DISTRIBUTIONS,
+    arithmetic_sigma,
+    get_distribution,
+    haar_orthogonal,
+    logarithmic_sigma,
+    make_test_matrix,
+    quarter_circle_sigma,
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_in_unit_interval_descending(self, name):
+        s = DISTRIBUTIONS[name](50)
+        assert s.shape == (50,)
+        assert np.all(s > 0) and np.all(s <= 1.0)
+        assert np.all(np.diff(s) <= 0)
+
+    def test_arithmetic_even_spacing(self):
+        s = arithmetic_sigma(10)
+        np.testing.assert_allclose(np.diff(s), -0.1)
+        assert s[0] == 1.0
+
+    def test_logarithmic_geometric_spacing(self):
+        s = logarithmic_sigma(11, decades=4.0)
+        ratios = s[1:] / s[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+        assert s[0] == pytest.approx(1.0)
+        assert s[-1] == pytest.approx(1e-4)
+
+    def test_quarter_circle_quantiles(self):
+        """Quantiles must reproduce the quarter-circle CDF."""
+        n = 2000
+        s = quarter_circle_sigma(n)
+        # the density is (4/pi) sqrt(1-x^2): mass below 0.5 is F(0.5)
+        frac_below_half = np.mean(s < 0.5)
+        expected = (2 / np.pi) * (0.5 * np.sqrt(0.75) + np.arcsin(0.5))
+        assert frac_below_half == pytest.approx(expected, abs=2e-3)
+
+    def test_single_value(self):
+        for name in DISTRIBUTIONS:
+            assert DISTRIBUTIONS[name](1).shape == (1,)
+
+    def test_get_distribution_aliases(self):
+        assert get_distribution("quarter_circle") is quarter_circle_sigma
+        with pytest.raises(KeyError):
+            get_distribution("uniform")
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            arithmetic_sigma(0)
+
+
+class TestHaar:
+    def test_orthogonal(self, rng):
+        Q = haar_orthogonal(30, rng)
+        np.testing.assert_allclose(Q @ Q.T, np.eye(30), atol=1e-12)
+
+    def test_determinant_pm_one(self, rng):
+        Q = haar_orthogonal(10, rng)
+        assert abs(abs(np.linalg.det(Q)) - 1.0) < 1e-12
+
+    def test_distribution_not_biased(self):
+        """Sign correction: mean diagonal element should be ~0, not positive."""
+        vals = []
+        for seed in range(200):
+            Q = haar_orthogonal(4, np.random.default_rng(seed))
+            vals.append(np.trace(Q))
+        assert abs(np.mean(vals)) < 0.3  # uncorrected QR gives ~+2.7
+
+
+class TestMakeTestMatrix:
+    def test_exact_singular_values(self):
+        tm = make_test_matrix(40, "arithmetic", seed=3)
+        assert rel_err(scipy_svdvals(tm.A), tm.sigma) < 1e-13
+
+    def test_logarithmic_fp32(self):
+        tm = make_test_matrix(32, "logarithmic", precision="fp32", seed=1)
+        assert tm.A.dtype == np.float32
+        assert rel_err(scipy_svdvals(tm.A), tm.sigma) < 1e-6
+
+    def test_seed_reproducible(self):
+        a = make_test_matrix(16, "quarter-circle", seed=7).A
+        b = make_test_matrix(16, "quarter-circle", seed=7).A
+        np.testing.assert_array_equal(a, b)
+        c = make_test_matrix(16, "quarter-circle", seed=8).A
+        assert not np.array_equal(a, c)
+
+    def test_custom_sigma(self):
+        sigma = np.array([4.0, 2.0, 1.0, 0.5])
+        tm = make_test_matrix(4, sigma=sigma, seed=0)
+        assert tm.distribution == "custom"
+        assert rel_err(scipy_svdvals(tm.A), sigma) < 1e-13
+
+    def test_sigma_shape_checked(self):
+        with pytest.raises(ValueError):
+            make_test_matrix(4, sigma=np.ones(3))
+
+    def test_sigma_attribute_sorted(self):
+        tm = make_test_matrix(8, sigma=np.array([1, 3, 2, 5, 4, 8, 7, 6.0]))
+        assert np.all(np.diff(tm.sigma) <= 0)

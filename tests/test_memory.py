@@ -1,0 +1,97 @@
+"""Tests for the DeviceMatrix device-buffer abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DeviceMatrix, resolve_backend
+from repro.errors import ShapeError, UnsupportedPrecisionError
+from repro.precision import Precision
+
+
+class TestFromHost:
+    def test_roundtrip(self, rng):
+        A = rng.standard_normal((16, 16))
+        dm = DeviceMatrix.from_host(A, "h100", "fp64")
+        np.testing.assert_array_equal(dm.to_host(), A)
+
+    def test_precision_defaults_to_dtype(self, rng):
+        A = rng.standard_normal((8, 8)).astype(np.float32)
+        dm = DeviceMatrix.from_host(A, "h100")
+        assert dm.precision is Precision.FP32
+
+    def test_unsupported_dtype_defaults_fp64(self):
+        A = np.ones((4, 4), dtype=np.int64)
+        dm = DeviceMatrix.from_host(A, "h100")
+        assert dm.precision is Precision.FP64
+
+    def test_conversion_rounds(self, rng):
+        A = rng.standard_normal((8, 8))
+        dm = DeviceMatrix.from_host(A, "h100", "fp16")
+        assert dm.data.dtype == np.float16
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ShapeError):
+            DeviceMatrix.from_host(np.ones(5), "h100")
+
+    def test_backend_precision_rules_apply(self, rng):
+        A = rng.standard_normal((8, 8))
+        with pytest.raises(UnsupportedPrecisionError):
+            DeviceMatrix.from_host(A, "mi250", "fp16")
+
+    def test_copy_semantics(self, rng):
+        A = rng.standard_normal((8, 8))
+        dm = DeviceMatrix.from_host(A, "h100", "fp64")
+        A[0, 0] = 999.0
+        assert dm.data[0, 0] != 999.0
+
+
+class TestLazyTranspose:
+    def test_zero_copy(self, rng):
+        A = rng.standard_normal((8, 8))
+        dm = DeviceMatrix.from_host(A, "h100", "fp64")
+        assert dm.T.data.base is dm.data or dm.T.data.base is dm.data.base
+
+    def test_transpose_values(self, rng):
+        A = rng.standard_normal((8, 8))
+        dm = DeviceMatrix.from_host(A, "h100", "fp64")
+        np.testing.assert_array_equal(dm.T.data, A.T)
+
+    def test_writes_through_view(self, rng):
+        A = rng.standard_normal((4, 4))
+        dm = DeviceMatrix.from_host(A, "h100", "fp64")
+        dm.T.data[0, 1] = 42.0
+        assert dm.data[1, 0] == 42.0
+
+
+class TestComputeDtype:
+    def test_fp16_on_nvidia_is_fp32(self, rng):
+        dm = DeviceMatrix.from_host(np.ones((4, 4)), "h100", "fp16")
+        assert dm.compute_dtype == np.float32
+
+    def test_load_compute_is_view_when_native(self, rng):
+        A = rng.standard_normal((4, 4)).astype(np.float32)
+        dm = DeviceMatrix.from_host(A, "h100", "fp32")
+        assert dm.load_compute() is dm.data
+
+    def test_load_compute_upcasts_fp16(self):
+        dm = DeviceMatrix.from_host(np.ones((4, 4)), "h100", "fp16")
+        up = dm.load_compute()
+        assert up.dtype == np.float32
+        assert up is not dm.data
+
+    def test_store_compute_rounds_through_storage(self):
+        dm = DeviceMatrix.from_host(np.zeros((2, 2)), "h100", "fp16")
+        vals = np.full((2, 2), 1.0002441, dtype=np.float32)
+        dm.store_compute(vals)
+        assert dm.data.dtype == np.float16
+        # 1.0002441 is not representable in FP16: it rounds to exactly 1.0
+        assert float(dm.to_host()[0, 0]) == 1.0
+
+    def test_store_shape_mismatch_raises(self):
+        dm = DeviceMatrix.from_host(np.zeros((2, 2)), "h100", "fp32")
+        with pytest.raises(ShapeError):
+            dm.store_compute(np.zeros((3, 3), dtype=np.float32))
+
+    def test_nbytes(self):
+        dm = DeviceMatrix.from_host(np.zeros((8, 8)), "h100", "fp16")
+        assert dm.nbytes() == 8 * 8 * 2

@@ -1,0 +1,81 @@
+"""Tests for the occupancy model."""
+
+import pytest
+
+from repro.backends.device import get_device
+from repro.sim import KernelParams
+from repro.sim.occupancy import (
+    SATURATION_THREADS_PER_SM,
+    OccupancyInfo,
+    update_occupancy,
+    warp_utilization,
+)
+
+
+class TestWarpUtilization:
+    def test_full_warp(self):
+        assert warp_utilization(32, 32) == 1.0
+        assert warp_utilization(64, 32) == 1.0
+
+    def test_half_warp(self):
+        assert warp_utilization(16, 32) == 0.5
+
+    def test_amd_wavefront(self):
+        # 32 threads on a 64-wide wavefront waste half the lanes
+        assert warp_utilization(32, 64) == 0.5
+        assert warp_utilization(16, 64) == 0.25
+
+    def test_partial_final_warp(self):
+        # 48 threads = 2 warps of 32 -> 48/64
+        assert warp_utilization(48, 32) == pytest.approx(0.75)
+
+
+class TestUpdateOccupancy:
+    def setup_method(self):
+        self.h100 = get_device("h100")
+        self.params = KernelParams(32, 32, 8)
+
+    def test_small_grid_low_occupancy(self):
+        occ = update_occupancy(self.h100, self.params, nblocks=4,
+                               sizeof_compute=4, regs_per_thread_elems=64)
+        assert occ.occupancy < 0.05
+        assert occ.waves == 1
+
+    def test_huge_grid_full_occupancy(self):
+        occ = update_occupancy(self.h100, self.params, nblocks=10**6,
+                               sizeof_compute=4, regs_per_thread_elems=64)
+        assert occ.occupancy == 1.0
+        assert occ.waves > 1
+
+    def test_waves_scale_with_blocks(self):
+        kw = dict(sizeof_compute=4, regs_per_thread_elems=64)
+        o1 = update_occupancy(self.h100, self.params, 10**4, **kw)
+        o2 = update_occupancy(self.h100, self.params, 2 * 10**4, **kw)
+        assert o2.waves >= o1.waves
+
+    def test_blocks_per_sm_limited_by_smem(self):
+        mi250 = get_device("mi250")  # 16 KB L1
+        big = KernelParams(128, 128, 1)
+        occ = update_occupancy(mi250, big, 100, sizeof_compute=8,
+                               regs_per_thread_elems=256)
+        # shared memory per block = 2*128*8 = 2 KiB -> at most 8 blocks
+        assert occ.blocks_per_sm <= 8
+
+    def test_blocks_per_sm_at_least_one(self):
+        mi250 = get_device("mi250")
+        occ = update_occupancy(mi250, KernelParams(128, 128, 1), 1,
+                               sizeof_compute=8, regs_per_thread_elems=10**6)
+        assert occ.blocks_per_sm == 1
+
+    def test_effective_parallel_fraction(self):
+        occ = OccupancyInfo(1, 10, 1, occupancy=0.5, warp_util=0.5)
+        assert occ.effective_parallel_fraction == 0.25
+
+    def test_warp_util_amd_penalty(self):
+        mi250 = get_device("mi250")
+        occ = update_occupancy(mi250, self.params, 10**5,
+                               sizeof_compute=4, regs_per_thread_elems=64)
+        assert occ.warp_util == 0.5  # 32 threads on 64-wide wavefront
+
+    def test_saturation_constant_sane(self):
+        assert 32 <= SATURATION_THREADS_PER_SM <= 2048

@@ -1,0 +1,92 @@
+"""Tests for the precision abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedPrecisionError
+from repro.precision import Precision, resolve_precision
+
+
+class TestPrecisionProperties:
+    def test_dtypes(self):
+        assert Precision.FP16.dtype == np.float16
+        assert Precision.FP32.dtype == np.float32
+        assert Precision.FP64.dtype == np.float64
+
+    def test_sizeof(self):
+        assert Precision.FP16.sizeof == 2
+        assert Precision.FP32.sizeof == 4
+        assert Precision.FP64.sizeof == 8
+
+    def test_eps_matches_numpy(self):
+        for prec in Precision:
+            assert prec.eps == float(np.finfo(prec.dtype).eps)
+
+    def test_eps_ordering(self):
+        assert Precision.FP16.eps > Precision.FP32.eps > Precision.FP64.eps
+
+    def test_bits(self):
+        assert [p.bits for p in Precision] == [16, 32, 64]
+
+    def test_tiny_and_fmax_are_positive(self):
+        for prec in Precision:
+            assert prec.tiny > 0
+            assert prec.fmax > prec.tiny
+
+    def test_name_lower(self):
+        assert Precision.FP32.name_lower == "fp32"
+
+
+class TestAtLeast:
+    def test_upcast(self):
+        assert Precision.FP16.at_least(Precision.FP32) is Precision.FP32
+
+    def test_no_downcast(self):
+        assert Precision.FP64.at_least(Precision.FP32) is Precision.FP64
+
+    def test_identity(self):
+        assert Precision.FP32.at_least(Precision.FP32) is Precision.FP32
+
+
+class TestResolve:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("fp16", Precision.FP16),
+            ("half", Precision.FP16),
+            ("Float16", Precision.FP16),
+            ("FP32", Precision.FP32),
+            ("single", Precision.FP32),
+            ("double", Precision.FP64),
+            ("float64", Precision.FP64),
+        ],
+    )
+    def test_string_aliases(self, alias, expected):
+        assert resolve_precision(alias) is expected
+
+    def test_precision_passthrough(self):
+        assert resolve_precision(Precision.FP16) is Precision.FP16
+
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [
+            (np.float16, Precision.FP16),
+            (np.float32, Precision.FP32),
+            (np.float64, Precision.FP64),
+            (np.dtype("f4"), Precision.FP32),
+        ],
+    )
+    def test_numpy_dtypes(self, dtype, expected):
+        assert resolve_precision(dtype) is expected
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            resolve_precision("fp8")
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            resolve_precision(np.int32)
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            resolve_precision(object())

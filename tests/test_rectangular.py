@@ -1,0 +1,101 @@
+"""Tests for rectangular / tall-and-skinny support."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import rel_err, scipy_svdvals
+from repro.core import qr_reduce_tall, svdvals_rect
+from repro.errors import ShapeError
+from repro.sim import KernelParams, Session
+
+EPS64 = float(np.finfo(np.float64).eps)
+
+
+class TestQrReduceTall:
+    @pytest.mark.parametrize("m,n,ts", [(64, 32, 32), (96, 64, 32), (128, 32, 16)])
+    def test_r_preserves_singular_values(self, rng, m, n, ts):
+        A = rng.standard_normal((m, n))
+        R = qr_reduce_tall(A.copy(), ts, EPS64)
+        assert R.shape == (n, n)
+        assert np.all(np.tril(R, -1) == 0)  # triangular, tails stripped
+        assert rel_err(scipy_svdvals(R), scipy_svdvals(A)) < 1e-12
+
+    def test_r_matches_numpy_qr(self, rng):
+        m, n, ts = 96, 32, 32
+        A = rng.standard_normal((m, n))
+        R = qr_reduce_tall(A.copy(), ts, EPS64)
+        R_ref = np.linalg.qr(A, mode="r")
+        np.testing.assert_allclose(np.abs(np.diag(R)), np.abs(np.diag(R_ref)),
+                                   rtol=1e-10)
+
+    def test_unpadded_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            qr_reduce_tall(rng.standard_normal((65, 32)), 32, EPS64)
+
+    def test_wide_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            qr_reduce_tall(rng.standard_normal((32, 64)), 32, EPS64)
+
+    def test_session_records_launches(self, rng):
+        sess = Session.create("h100", "fp64", params=KernelParams(32, 32, 8))
+        qr_reduce_tall(rng.standard_normal((128, 64)), 32, EPS64, session=sess)
+        counts = sess.tracer.kernel_counts()
+        assert counts["geqrt"] == 2  # one per block column
+        assert counts["ftsqrt"] == 2
+
+
+class TestSvdvalsRect:
+    @pytest.mark.parametrize("shape", [(80, 40), (40, 80), (130, 20),
+                                       (20, 130), (97, 33), (33, 97), (64, 64)])
+    def test_matches_scipy(self, rng, shape):
+        A = rng.standard_normal(shape)
+        got = svdvals_rect(A, backend="h100", precision="fp64")
+        ref = scipy_svdvals(A)
+        assert got.shape == (min(shape),)
+        assert rel_err(got, ref) < 1e-11
+
+    def test_extreme_aspect_ratio(self, rng):
+        A = rng.standard_normal((600, 8))
+        got = svdvals_rect(A)
+        assert rel_err(got, scipy_svdvals(A)) < 1e-11
+
+    def test_single_column(self, rng):
+        A = rng.standard_normal((50, 1))
+        got = svdvals_rect(A)
+        assert got[0] == pytest.approx(np.linalg.norm(A), rel=1e-12)
+
+    def test_single_row(self, rng):
+        A = rng.standard_normal((1, 50))
+        got = svdvals_rect(A)
+        assert got[0] == pytest.approx(np.linalg.norm(A), rel=1e-12)
+
+    def test_fp32(self, rng):
+        A = rng.standard_normal((96, 48)).astype(np.float32)
+        got = svdvals_rect(A, precision="fp32")
+        assert rel_err(got, scipy_svdvals(A)) < 5e-6
+
+    def test_rank_deficient_tall(self, rng):
+        X = rng.standard_normal((100, 3))
+        A = X @ rng.standard_normal((3, 20))
+        got = svdvals_rect(A)
+        ref = scipy_svdvals(A)
+        assert rel_err(got, ref) < 1e-11
+        np.testing.assert_allclose(got[3:], 0.0, atol=1e-10 * ref[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            svdvals_rect(np.zeros((0, 5)))
+
+    def test_info_includes_preprocessing(self, rng):
+        _, info = svdvals_rect(rng.standard_normal((96, 48)),
+                               return_info=True)
+        assert info.simulated_seconds > 0
+        # the tall-QR chain contributes panel launches beyond the square run
+        _, sq = svdvals_rect(rng.standard_normal((48, 48)), return_info=True)
+        assert sum(info.launch_counts.values()) > sum(sq.launch_counts.values())
+
+    def test_transpose_invariance(self, rng):
+        A = rng.standard_normal((70, 30))
+        a = svdvals_rect(A)
+        b = svdvals_rect(A.T)
+        np.testing.assert_allclose(a, b, atol=1e-12 * a[0])

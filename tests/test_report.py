@@ -1,0 +1,60 @@
+"""Tests for the report-formatting helpers."""
+
+import math
+
+import pytest
+
+from repro.report import format_ratio, format_seconds, format_table, geomean
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_scale_invariance(self):
+        a = geomean([2.0, 8.0])
+        b = geomean([4.0, 4.0])
+        assert a == pytest.approx(b)
+
+
+class TestFormatters:
+    def test_seconds_ranges(self):
+        assert "us" in format_seconds(5e-5)
+        assert "ms" in format_seconds(5e-3)
+        assert format_seconds(2.5).strip().endswith("s")
+        assert format_seconds(float("nan")) == "n/a"
+
+    def test_ratio_sig_figs(self):
+        assert format_ratio(0.123) == "0.12"
+        assert format_ratio(12.3) == "12.3"
+        assert format_ratio(280.4) == "280"
+        assert format_ratio(float("inf")) == "n/a"
+
+
+class TestTable:
+    def test_round_trip(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 44]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "33" in lines[-1] and "44" in lines[-1]
+
+    def test_alignment_consistent(self):
+        out = format_table(["x"], [["longvalue"], ["s"]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

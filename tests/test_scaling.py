@@ -1,0 +1,87 @@
+"""Tests for the out-of-core and multi-GPU prediction models."""
+
+import pytest
+
+from repro.errors import ShapeError, UnsupportedPrecisionError
+from repro.sim import predict, predict_multi_gpu, predict_out_of_core
+
+
+class TestOutOfCore:
+    def test_in_core_passthrough(self):
+        """When the matrix fits, the model reduces to the in-core one."""
+        a = predict_out_of_core(8192, "h100", "fp32")
+        b = predict(8192, "h100", "fp32")
+        assert a.total_s == pytest.approx(b.total_s)
+        assert "h2d_stream" not in a.launches
+
+    def test_enables_beyond_capacity(self):
+        """Sizes that raise CapacityError in-core become predictable."""
+        from repro.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            predict(200000, "h100", "fp32")
+        bd = predict_out_of_core(200000, "h100", "fp32")
+        assert bd.total_s > 0
+        assert bd.launches["h2d_stream"] > 0
+
+    def test_host_link_dominates(self):
+        """Out-of-core update time is bounded below by PCIe streaming."""
+        n = 200000
+        bd = predict_out_of_core(n, "h100", "fp32")
+        ic = predict(n, "h100", "fp32", check_capacity=False)
+        assert bd.update_s >= ic.update_s
+        assert bd.bytes > ic.bytes
+
+    def test_monotone_in_n(self):
+        t1 = predict_out_of_core(150000, "h100", "fp32").total_s
+        t2 = predict_out_of_core(200000, "h100", "fp32").total_s
+        assert t2 > t1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            predict_out_of_core(0, "h100", "fp32")
+        with pytest.raises(UnsupportedPrecisionError):
+            predict_out_of_core(1000, "mi250", "fp16")
+
+
+class TestMultiGpu:
+    def test_single_gpu_passthrough(self):
+        a = predict_multi_gpu(16384, "h100", "fp32", 1)
+        b = predict(16384, "h100", "fp32")
+        assert a.total_s == pytest.approx(b.total_s)
+
+    def test_speedup_positive_and_bounded(self):
+        t1 = predict_multi_gpu(32768, "h100", "fp32", 1).total_s
+        t4 = predict_multi_gpu(32768, "h100", "fp32", 4).total_s
+        assert t4 < t1
+        assert t1 / t4 < 4.0  # no superlinear speedup
+
+    def test_amdahl_saturation(self):
+        """The serial panel chain caps the speedup (paper future work
+        motivation for the Dagger integration)."""
+        times = [
+            predict_multi_gpu(32768, "h100", "fp32", g).total_s
+            for g in (1, 2, 4, 8, 16)
+        ]
+        speedups = [times[0] / t for t in times]
+        assert all(a <= b + 1e-12 for a, b in zip(speedups, speedups[1:]))
+        gains = [b / a for a, b in zip(speedups, speedups[1:])]
+        assert gains[-1] < gains[0]  # diminishing returns
+        # panel share of the parallel run grows
+        bd = predict_multi_gpu(32768, "h100", "fp32", 16)
+        assert bd.panel_s == predict(32768, "h100", "fp32",
+                                     check_capacity=False).panel_s
+
+    def test_communication_term_counts(self):
+        bd = predict_multi_gpu(8192, "h100", "fp32", 4)
+        assert bd.launches["panel_bcast"] > 0
+
+    def test_small_matrix_barely_helped(self):
+        """Small problems are panel/solve bound: multi-GPU adds little."""
+        t1 = predict_multi_gpu(1024, "h100", "fp32", 1).total_s
+        t8 = predict_multi_gpu(1024, "h100", "fp32", 8).total_s
+        assert t8 > 0.5 * t1
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ShapeError):
+            predict_multi_gpu(1024, "h100", "fp32", 0)

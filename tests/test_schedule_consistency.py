@@ -1,0 +1,88 @@
+"""Property: the analytic schedule equals the traced numeric execution.
+
+The benchmark harness prices the paper's large sizes with
+:func:`repro.sim.predict` while tests and small runs execute real numerics
+through :class:`~repro.sim.session.Session`.  These tests pin that both
+paths charge exactly the same launches and the same simulated time, so the
+analytic results shown in the figures are faithful to what the executing
+code would report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import svdvals
+from repro.sim import KernelParams, Session, Stage, predict
+from repro.core.banddiag import reduce_to_band
+
+
+def traced_stage1(n, backend, precision, params, fused):
+    """Run the real stage-1 numerics and return the session tracer."""
+    rng = np.random.default_rng(7)
+    sess = Session.create(backend, precision, params=params)
+    ts = params.tilesize
+    npad = -(-n // ts) * ts
+    A = np.zeros((npad, npad), dtype=sess.storage.dtype)
+    A[:n, :n] = rng.standard_normal((n, n)).astype(sess.storage.dtype)
+    compute_dtype = (
+        sess.compute.dtype if sess.compute is not sess.storage else None
+    )
+    reduce_to_band(A, ts, sess.storage.eps, sess, fused=fused,
+                   compute_dtype=compute_dtype)
+    return sess.tracer
+
+
+@pytest.mark.parametrize("fused", [True, False])
+@pytest.mark.parametrize("n,ts", [(64, 32), (96, 32), (128, 16), (130, 32)])
+def test_stage1_trace_matches_predict(n, ts, fused):
+    params = KernelParams(tilesize=ts, colperblock=min(ts, 32), splitk=4)
+    tracer = traced_stage1(n, "h100", "fp32", params, fused)
+    bd = predict(n, "h100", "fp32", params=params, fused=fused)
+
+    # identical launch counts per kernel
+    counts = tracer.kernel_counts()
+    for kernel in ("geqrt", "unmqr", "ftsqrt", "ftsmqr", "tsqrt", "tsmqr"):
+        assert counts.get(kernel, 0) == bd.launches.get(kernel, 0), kernel
+
+    # identical simulated stage-1 seconds
+    traced = tracer.stage_seconds(Stage.PANEL) + tracer.stage_seconds(Stage.UPDATE)
+    assert traced == pytest.approx(bd.panel_s + bd.update_s, rel=1e-12)
+
+
+@pytest.mark.parametrize("backend,precision", [
+    ("h100", "fp32"),
+    ("h100", "fp16"),  # upcast path
+    ("mi250", "fp64"),
+    ("m1pro", "fp32"),
+])
+def test_full_driver_matches_predict(backend, precision):
+    n = 96
+    params = KernelParams(32, 32, 8)
+    rng = np.random.default_rng(3)
+    A = rng.standard_normal((n, n))
+    _, info = svdvals(A, backend=backend, precision=precision,
+                      params=params, return_info=True)
+    bd = predict(n, backend, precision, params=params)
+    assert info.simulated_seconds == pytest.approx(bd.total_s, rel=1e-12)
+    assert info.launch_counts.get("brd_chase", 0) == bd.launches.get("brd_chase", 0)
+
+
+def test_full_driver_matches_predict_unfused():
+    n = 80
+    rng = np.random.default_rng(4)
+    A = rng.standard_normal((n, n))
+    _, info = svdvals(A, backend="h100", precision="fp32",
+                      fused=False, return_info=True)
+    bd = predict(n, "h100", "fp32", fused=False)
+    assert info.simulated_seconds == pytest.approx(bd.total_s, rel=1e-12)
+
+
+def test_stage_attribution_matches(rng):
+    n = 100
+    A = rng.standard_normal((n, n))
+    _, info = svdvals(A, backend="a100", precision="fp32", return_info=True)
+    bd = predict(n, "a100", "fp32")
+    assert info.stage_seconds[Stage.PANEL] == pytest.approx(bd.panel_s, rel=1e-12)
+    assert info.stage_seconds[Stage.UPDATE] == pytest.approx(bd.update_s, rel=1e-12)
+    assert info.stage_seconds[Stage.BRD] == pytest.approx(bd.brd_s, rel=1e-12)
+    assert info.stage_seconds[Stage.SOLVE] == pytest.approx(bd.solve_s, rel=1e-12)

@@ -1,0 +1,91 @@
+"""Tests for the Session launch API (the KernelAbstractions analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedPrecisionError
+from repro.precision import Precision
+from repro.sim import KernelParams, Session, Stage
+
+
+class TestCreate:
+    def test_resolves_spellings(self):
+        sess = Session.create("H100", "single")
+        assert sess.backend.name == "nvidia-h100"
+        assert sess.storage is Precision.FP32
+        assert sess.compute is Precision.FP32
+
+    def test_fp16_upcast_binding(self):
+        sess = Session.create("h100", "fp16")
+        assert sess.storage is Precision.FP16
+        assert sess.compute is Precision.FP32
+
+    def test_fp16_native_on_apple(self):
+        sess = Session.create("m1pro", "fp16")
+        assert sess.compute is Precision.FP16
+
+    def test_default_params(self):
+        assert Session.create("h100", "fp32").params == KernelParams()
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            Session.create("mi250", "fp16")
+
+    def test_keep_records_flag(self):
+        sess = Session.create("h100", "fp32", keep_records=False)
+        sess.launch_panel("geqrt")
+        assert sess.tracer.records == []
+        assert sess.simulated_seconds > 0
+
+
+class TestLaunches:
+    def setup_method(self):
+        self.sess = Session.create("h100", "fp32")
+
+    def test_panel_launch_records_stage(self):
+        self.sess.launch_panel("geqrt", 1, 1)
+        rec = self.sess.tracer.records[-1]
+        assert rec.stage == Stage.PANEL
+        assert rec.block == self.sess.params.panel_threads
+        assert rec.overhead_s == self.sess.backend.device.launch_overhead_s
+
+    def test_update_launch_grid(self):
+        self.sess.launch_update("unmqr", width_cols=100, nrows=1,
+                                has_top_row=False)
+        rec = self.sess.tracer.records[-1]
+        assert rec.stage == Stage.UPDATE
+        assert rec.grid == -(-100 // self.sess.params.colperblock)
+
+    def test_update_zero_width_noop(self):
+        self.sess.launch_update("unmqr", width_cols=0)
+        assert self.sess.tracer.launch_count() == 0
+
+    def test_brd_launch_counts(self):
+        self.sess.launch_brd(1024, 32)
+        from repro.sim.costmodel import brd_launch_count
+
+        assert self.sess.tracer.launch_count("brd_chase") == brd_launch_count(
+            1024, 32
+        )
+
+    def test_brd_trivial_band_noop(self):
+        self.sess.launch_brd(1024, 1)
+        assert self.sess.tracer.launch_count() == 0
+
+    def test_solve_launch(self):
+        self.sess.launch_solve(512)
+        rec = self.sess.tracer.records[-1]
+        assert rec.stage == Stage.SOLVE
+        assert rec.overhead_s == 0.0  # CPU call: no GPU launch overhead
+
+    def test_transfer_launch(self):
+        self.sess.launch_transfer(1e9, "h2d")
+        rec = self.sess.tracer.records[-1]
+        assert rec.stage == Stage.TRANSFER
+        assert rec.cost.bytes == 1e9
+
+    def test_simulated_seconds_accumulates(self):
+        t0 = self.sess.simulated_seconds
+        self.sess.launch_panel("geqrt")
+        self.sess.launch_update("unmqr", 64)
+        assert self.sess.simulated_seconds > t0

@@ -1,0 +1,102 @@
+"""Tests for the tile-grid helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import (
+    band_width,
+    extract_band,
+    is_upper_band,
+    ntiles,
+    pad_to_tiles,
+    tile,
+)
+from repro.errors import ShapeError
+
+
+class TestNtiles:
+    def test_exact(self):
+        assert ntiles(128, 32) == 4
+
+    def test_ceil(self):
+        assert ntiles(129, 32) == 5
+        assert ntiles(1, 32) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            ntiles(0, 32)
+
+
+class TestPad:
+    def test_no_pad_needed(self, rng):
+        A = rng.standard_normal((64, 64))
+        P, n = pad_to_tiles(A, 32)
+        assert P.shape == (64, 64) and n == 64
+        assert P is not A  # always a copy
+
+    def test_pad_to_next_multiple(self, rng):
+        A = rng.standard_normal((65, 65)).astype(np.float32)
+        P, n = pad_to_tiles(A, 32)
+        assert P.shape == (96, 96) and n == 65
+        assert P.dtype == np.float32
+        np.testing.assert_array_equal(P[:65, :65], A)
+        assert np.all(P[65:, :] == 0) and np.all(P[:, 65:] == 0)
+
+    def test_padding_preserves_singular_values(self, rng):
+        A = rng.standard_normal((20, 20))
+        P, _ = pad_to_tiles(A, 16)
+        sv_a = np.linalg.svd(A, compute_uv=False)
+        sv_p = np.linalg.svd(P, compute_uv=False)
+        np.testing.assert_allclose(sv_p[:20], sv_a, atol=1e-12)
+        np.testing.assert_allclose(sv_p[20:], 0.0, atol=1e-12)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            pad_to_tiles(np.zeros((3, 4)), 2)
+
+
+class TestTileView:
+    def test_view_not_copy(self, rng):
+        A = rng.standard_normal((64, 64))
+        t = tile(A, 1, 0, 32)
+        t[0, 0] = 42.0
+        assert A[32, 0] == 42.0
+
+    def test_indices(self, rng):
+        A = np.arange(16.0).reshape(4, 4)
+        np.testing.assert_array_equal(tile(A, 0, 1, 2), A[0:2, 2:4])
+
+    def test_transposed_grid(self, rng):
+        A = rng.standard_normal((64, 64))
+        np.testing.assert_array_equal(tile(A.T, 1, 0, 32), A[0:32, 32:64].T)
+
+
+class TestBandHelpers:
+    def test_band_width_diagonal(self):
+        assert band_width(np.eye(5)) == (0, 0)
+
+    def test_band_width_bidiagonal(self):
+        A = np.eye(5) + np.diag(np.ones(4), 1)
+        assert band_width(A) == (0, 1)
+
+    def test_band_width_full(self):
+        assert band_width(np.ones((4, 4))) == (3, 3)
+
+    def test_band_width_tolerance(self):
+        A = np.eye(4)
+        A[3, 0] = 1e-12
+        assert band_width(A, tol=1e-10) == (0, 0)
+        assert band_width(A)[0] == 3
+
+    def test_is_upper_band(self):
+        A = np.triu(np.ones((6, 6))) - np.triu(np.ones((6, 6)), 3)
+        assert is_upper_band(A, 2, 0.0)
+        assert not is_upper_band(A, 1, 0.0)
+
+    def test_extract_band(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = extract_band(A, 2)
+        assert is_upper_band(B, 2, 0.0)
+        for k in range(3):
+            np.testing.assert_array_equal(np.diagonal(B, k), np.diagonal(A, k))
+        assert np.all(np.tril(B, -1) == 0)
