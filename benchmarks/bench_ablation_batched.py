@@ -11,19 +11,18 @@ numerics remain identical to per-matrix solves.
 import numpy as np
 import pytest
 
-from conftest import save_result
-from repro.core import predict_batched, svdvals, svdvals_batched
+from conftest import get_solver, save_result
 from repro.report import format_seconds, format_table
-from repro.sim import predict
 
 
 def test_batched_ablation(benchmark):
+    solver = get_solver("h100", "fp32")
     batch = 64
     rows = []
     gains = {}
     for n in (64, 128, 256, 512, 1024, 2048):
-        seq = batch * predict(n, "h100", "fp32", check_capacity=False).total_s
-        bat = predict_batched(n, batch, "h100", "fp32").total_s
+        seq = batch * solver.predict(n, check_capacity=False).total_s
+        bat = solver.predict(n, batch=batch).total_s
         gains[n] = seq / bat
         rows.append([
             str(n),
@@ -44,11 +43,12 @@ def test_batched_ablation(benchmark):
     assert all(g > 1.0 for g in gains.values())
     assert gains[64] > gains[2048]
 
-    # numerics identical to per-matrix execution
+    # numerics identical to per-matrix execution (one handle, both paths)
     rng = np.random.default_rng(0)
     As = rng.standard_normal((4, 48, 48))
-    vals = svdvals_batched(As)
+    fp64 = get_solver("h100", "fp64")
+    vals = fp64.solve(As)
     for i in range(4):
-        np.testing.assert_array_equal(vals[i], svdvals(As[i]))
+        np.testing.assert_array_equal(vals[i], fp64.solve(As[i]))
 
-    benchmark(lambda: predict_batched(256, batch, "h100", "fp32"))
+    benchmark(lambda: solver.predict(256, batch=batch))

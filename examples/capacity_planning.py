@@ -10,15 +10,19 @@ questions a user would actually ask before buying hardware:
    the serial panel chain)?
 3. When is batching many small problems better than looping?
 
+Every study prices its whole sweep through one :class:`repro.Solver`
+handle — ``predict`` is the single front door for the in-core, batched,
+multi-GPU and out-of-core models.
+
 Usage::
 
     python examples/capacity_planning.py
 """
 
 import repro
-from repro.core import predict_batched
 from repro.report import format_seconds, format_table
-from repro.sim import predict, predict_multi_gpu, predict_out_of_core
+
+H100 = repro.Solver(backend="h100", precision="fp32")
 
 
 def capacity_table() -> None:
@@ -36,11 +40,10 @@ def capacity_table() -> None:
 
 
 def out_of_core_cliff() -> None:
-    be = repro.resolve_backend("h100")
-    cap = be.max_n("fp32")
+    cap = H100.backend.max_n("fp32")
     body = []
     for n in (cap // 2, cap, int(cap * 1.5), cap * 2):
-        bd = predict_out_of_core(n, "h100", "fp32")
+        bd = H100.predict(n, out_of_core=True)
         mode = "in-core" if n <= cap else "streamed"
         body.append([str(n), mode, format_seconds(bd.total_s).strip()])
     print()
@@ -53,10 +56,10 @@ def out_of_core_cliff() -> None:
 def multi_gpu_scaling() -> None:
     body = []
     for n in (8192, 32768):
-        t1 = predict_multi_gpu(n, "h100", "fp32", 1).total_s
+        t1 = H100.predict(n, check_capacity=False).total_s
         row = [str(n)]
         for g in (1, 2, 4, 8, 16):
-            t = predict_multi_gpu(n, "h100", "fp32", g).total_s
+            t = H100.predict(n, ngpu=g, check_capacity=False).total_s
             row.append(f"{t1 / t:.2f}x")
         body.append(row)
     print()
@@ -70,8 +73,8 @@ def batching_study() -> None:
     body = []
     for n in (64, 128, 256, 1024):
         batch = 64
-        seq = batch * predict(n, "h100", "fp32", check_capacity=False).total_s
-        bat = predict_batched(n, batch, "h100", "fp32").total_s
+        seq = batch * H100.predict(n, check_capacity=False).total_s
+        bat = H100.predict(n, batch=batch).total_s
         body.append([
             str(n), format_seconds(seq).strip(), format_seconds(bat).strip(),
             f"{seq / bat:.1f}x",

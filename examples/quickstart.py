@@ -1,8 +1,10 @@
-"""Quickstart: compute singular values with the unified API.
+"""Quickstart: compute singular values with the unified Solver handle.
 
-Runs the paper's two-stage QR singular value computation on a simulated
-H100, compares against NumPy, and shows the simulated execution report
-(per-stage timing, kernel launches) that drives the paper's figures.
+Constructs one :class:`repro.Solver` (backend, precision and
+hyperparameters resolved up front), runs the paper's two-stage QR singular
+value computation on a simulated H100, compares against NumPy, and shows
+the simulated execution report (per-stage timing, kernel launches) that
+drives the paper's figures.
 
 Usage::
 
@@ -20,10 +22,9 @@ def main(n: int = 256) -> None:
     rng = np.random.default_rng(0)
     A = rng.standard_normal((n, n)).astype(np.float32)
 
-    # one function, any backend, any precision
-    values, info = repro.svdvals(
-        A, backend="h100", precision="fp32", return_info=True
-    )
+    # one handle, constructed once: every axis validated up front
+    solver = repro.Solver(backend="h100", precision="fp32")
+    values, info = solver.solve(A, return_info=True)
 
     ref = np.linalg.svd(A.astype(np.float64), compute_uv=False)
     err = np.linalg.norm(values - ref) / np.linalg.norm(ref)
@@ -40,9 +41,19 @@ def main(n: int = 256) -> None:
         print(f"  {stage:8s} {seconds * 1e3:8.3f} ms  ({share:5.1%})")
     print(f"kernel launches:      {info.launch_counts}")
 
+    # the same handle solves any supported shape: rectangular inputs run
+    # the tall-QR preprocessing, 3-D stacks the batched driver
+    rect = solver.solve(A[:, : n // 2])
+    print(f"rectangular:          {n} x {n // 2} -> {rect.shape[0]} values")
+
+    # repeated same-shape solves: plan once, execute many (identical values)
+    plan = solver.plan((n, n))
+    assert np.array_equal(plan.execute(A), values)
+    print(f"plan:                 {plan.launch_prices} launch shapes pre-priced")
+
     # the same line runs on every simulated backend
     for backend in ("mi250", "m1pro", "pvc"):
-        v = repro.svdvals(A, backend=backend, precision="fp32")
+        v = repro.Solver(backend=backend, precision="fp32").solve(A)
         assert np.allclose(v, values)
         print(f"portable: identical result on {backend}")
 

@@ -6,19 +6,37 @@ Alomairy, Churavy, Edelman - ICPP 2025).
 
 Quickstart
 ----------
+Construct a :class:`Solver` once — backend, precision and hyperparameters
+are resolved and validated up front — then reuse the handle for every
+solve, prediction, and plan:
+
 >>> import numpy as np, repro
+>>> solver = repro.Solver(backend="h100", precision="fp32")
 >>> A = np.random.default_rng(0).standard_normal((256, 256))
->>> sv = repro.svdvals(A, backend="h100", precision="fp32")
+>>> sv = solver.solve(A)            # square: two-stage QR driver
 >>> sv.shape
 (256,)
 
-The unified :func:`svdvals` runs the paper's two-stage QR reduction with
-numerically real tile kernels on a simulated GPU; pass
-``return_info=True`` for simulated per-stage timing, or use
-:func:`repro.sim.predict` to price arbitrary sizes analytically.
+:meth:`Solver.solve` dispatches on shape — ``(m, n)`` rectangular inputs
+run the tall-QR preprocessing and ``(batch, n, n)`` stacks the batched
+driver — while :meth:`Solver.svd` returns full singular vectors and
+:meth:`Solver.predict` prices arbitrary sizes analytically (single-GPU,
+``batch=``, ``ngpu=``, or ``out_of_core=True``).  For repeated same-shape
+solves, :meth:`Solver.plan` returns a reusable :class:`SvdPlan` whose
+:meth:`~SvdPlan.execute` skips the per-call setup:
+
+>>> plan = solver.plan((128, 128))
+>>> sv128 = plan.execute(A[:128, :128])
+
+Pass ``return_info=True`` to any solve for the simulated per-stage timing
+report.  The historical free functions (:func:`svdvals`,
+:func:`svdvals_rect`, :func:`svdvals_batched`, :func:`svd_full`,
+:func:`predict`, ...) remain available as thin shims over a one-shot
+``Solver`` — no migration required, but new code should hold a handle.
 """
 
 from .backends import Backend, DeviceMatrix, DeviceSpec, list_backends, resolve_backend
+from .config import SolveConfig
 from .core import (
     SVDInfo,
     SVDResult,
@@ -46,36 +64,45 @@ from .sim import (
     predict_multi_gpu,
     predict_out_of_core,
 )
+from .solver import Solver, SvdPlan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # unified handle surface (the recommended API)
+    "Solver",
+    "SvdPlan",
+    "SolveConfig",
+    # configuration axes
     "Backend",
-    "CapacityError",
-    "ConvergenceError",
     "DeviceMatrix",
     "DeviceSpec",
-    "InvalidParamsError",
     "KernelParams",
     "Precision",
     "REFERENCE_PARAMS",
-    "ReproError",
+    "list_backends",
+    "resolve_backend",
+    "resolve_precision",
+    # result types
     "SVDInfo",
     "SVDResult",
+    # errors
+    "CapacityError",
+    "ConvergenceError",
+    "InvalidParamsError",
+    "ReproError",
     "ShapeError",
     "UnsupportedBackendError",
     "UnsupportedPrecisionError",
-    "__version__",
-    "list_backends",
+    # legacy one-shot shims (delegate to Solver)
+    "jacobi_svdvals",
     "predict",
+    "predict_batched",
     "predict_multi_gpu",
     "predict_out_of_core",
-    "jacobi_svdvals",
     "svd_full",
-    "svdvals_rect",
-    "svdvals_batched",
-    "predict_batched",
-    "resolve_backend",
-    "resolve_precision",
     "svdvals",
+    "svdvals_batched",
+    "svdvals_rect",
+    "__version__",
 ]

@@ -66,10 +66,7 @@ class DeviceMatrix:
         if a.ndim != 2:
             raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
         if precision is None:
-            try:
-                prec = resolve_precision(a.dtype)
-            except Exception:
-                prec = Precision.FP64
+            prec = Precision.from_dtype(a.dtype)
         else:
             prec = resolve_precision(precision)
         prec = be.check_precision(prec)

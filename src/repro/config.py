@@ -1,0 +1,142 @@
+"""Frozen solve configuration: everything a solve needs, resolved once.
+
+The legacy entry points each re-resolved the backend, precision,
+hyperparameters and cost coefficients on every call.  :class:`SolveConfig`
+is the single resolution point behind :class:`repro.Solver`: it validates
+the full configuration at construction time (unknown backends, unsupported
+backend/precision pairs, invalid hyperparameters and stage-3 method names
+all fail fast, before any matrix is touched) and is immutable afterwards,
+so a handle can be shared and reused safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from .backends.backend import Backend, BackendLike, resolve_backend
+from .errors import InvalidParamsError
+from .precision import Precision, PrecisionLike
+from .sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from .sim.params import KernelParams
+from .sim.session import Session
+
+__all__ = ["STAGE3_METHODS", "SolveConfig"]
+
+#: Valid stage-3 bidiagonal solver names (see :func:`repro.core.svdvals_bidiag`).
+STAGE3_METHODS = ("auto", "gk", "bisect", "lapack")
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Immutable, fully-resolved configuration of one :class:`repro.Solver`.
+
+    ``precision=None`` keeps the historical per-input inference: the
+    storage precision is derived from each input's dtype via
+    :meth:`repro.Precision.from_dtype` (falling back to FP64) and checked
+    against the backend at solve time.
+    """
+
+    backend: Backend
+    precision: Optional[Precision]
+    params: KernelParams
+    coeffs: CostCoefficients
+    stage3: str = "auto"
+    fused: bool = True
+    check_finite: bool = True
+    rescale: bool = True
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def resolve(
+        cls,
+        backend: BackendLike = "h100",
+        precision: Optional[PrecisionLike] = None,
+        params: Optional[KernelParams] = None,
+        coeffs: Optional[CostCoefficients] = None,
+        stage3: str = "auto",
+        fused: bool = True,
+        check_finite: bool = True,
+        rescale: bool = True,
+    ) -> "SolveConfig":
+        """Resolve and validate every axis of the configuration up front.
+
+        Raises
+        ------
+        UnsupportedBackendError
+            Unknown backend name.
+        UnsupportedPrecisionError
+            Precision not supported by the backend (paper Figure 5 gaps).
+        InvalidParamsError
+            Invalid hyperparameters or unknown ``stage3`` method.
+        """
+        be = resolve_backend(backend)
+        prec = be.check_precision(precision) if precision is not None else None
+        if params is None:
+            params = KernelParams()
+        elif not isinstance(params, KernelParams):
+            raise InvalidParamsError(
+                f"params must be a KernelParams, got {type(params).__name__}"
+            )
+        if coeffs is None:
+            coeffs = DEFAULT_COEFFS
+        if stage3 not in STAGE3_METHODS:
+            raise InvalidParamsError(
+                f"unknown stage3 method {stage3!r}; expected one of "
+                f"{STAGE3_METHODS}"
+            )
+        return cls(
+            backend=be,
+            precision=prec,
+            params=params,
+            coeffs=coeffs,
+            stage3=stage3,
+            fused=bool(fused),
+            check_finite=bool(check_finite),
+            rescale=bool(rescale),
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_(self, **kwargs) -> "SolveConfig":
+        """Copy with selected axes replaced and re-validated."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(kwargs)
+        return type(self).resolve(**current)
+
+    def storage_for(self, dtype) -> Precision:
+        """Concrete storage precision for an input dtype.
+
+        The configured precision wins when set; otherwise it is inferred
+        from the dtype and validated against the backend.
+        """
+        if self.precision is not None:
+            return self.precision
+        return self.backend.check_precision(Precision.from_dtype(dtype))
+
+    def require_precision(self, what: str = "predict") -> Precision:
+        """The configured precision, or an error naming the operation.
+
+        Prediction has no input matrix to infer a dtype from, so the
+        handle must have been constructed with an explicit precision.
+        """
+        if self.precision is None:
+            raise InvalidParamsError(
+                f"{what} requires an explicit precision; construct the "
+                "Solver with precision='fp16'/'fp32'/'fp64'"
+            )
+        return self.precision
+
+    def session(self, storage: Precision, cost_cache: Optional[dict] = None) -> Session:
+        """Fresh tracing session bound to this configuration.
+
+        ``cost_cache`` (a plan-owned dict) lets repeated same-shape solves
+        skip re-pricing identical kernel launches.
+        """
+        return Session(
+            backend=self.backend,
+            storage=storage,
+            compute=self.backend.compute_precision(storage),
+            params=self.params,
+            coeffs=self.coeffs,
+            cost_cache=cost_cache,
+        )

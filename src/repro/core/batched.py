@@ -24,7 +24,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..backends.backend import BackendLike, resolve_backend
+from ..backends.backend import BackendLike
+from ..config import SolveConfig
 from ..errors import CapacityError, ShapeError
 from ..precision import PrecisionLike
 from ..sim.costmodel import (
@@ -39,32 +40,25 @@ from ..sim.costmodel import (
 from ..sim.params import KernelParams
 from ..sim.schedule import TimeBreakdown
 from ..sim.tracing import Stage
-from .svd import svdvals
+from .svd import svdvals_resolved
+from .tiling import ntiles
 
 __all__ = ["predict_batched", "svdvals_batched"]
 
 
-def predict_batched(
-    n: int,
-    batch: int,
-    backend: BackendLike,
-    precision: PrecisionLike,
-    params: Optional[KernelParams] = None,
-    coeffs: CostCoefficients = DEFAULT_COEFFS,
+def predict_batched_resolved(
+    n: int, batch: int, config: SolveConfig
 ) -> TimeBreakdown:
-    """Predict the simulated runtime of ``batch`` SVDs of order ``n``.
+    """Batched-prediction implementation against a resolved config.
 
-    The schedule is the single-matrix schedule with every launch widened
-    ``batch``-fold: panel kernels run ``batch`` independent thread blocks
-    per step (they parallelize perfectly across problems), update kernels
-    process ``batch x width`` columns, and the stage-2/3 work scales
-    linearly while sharing launch overheads.
+    The single shared code path behind :meth:`repro.Solver.predict` with
+    ``batch=`` and the legacy :func:`predict_batched` shim.
     """
-    be = resolve_backend(backend)
-    storage = be.check_precision(precision)
+    be = config.backend
+    storage = config.require_precision("batched prediction")
     compute = be.compute_precision(storage)
-    if params is None:
-        params = KernelParams()
+    params = config.params
+    coeffs = config.coeffs
     if n < 1 or batch < 1:
         raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
     spec = be.device
@@ -152,6 +146,86 @@ def predict_batched(
     return bd
 
 
+def predict_batched(
+    n: int,
+    batch: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    params: Optional[KernelParams] = None,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> TimeBreakdown:
+    """Predict the simulated runtime of ``batch`` SVDs of order ``n``.
+
+    The schedule is the single-matrix schedule with every launch widened
+    ``batch``-fold: panel kernels run ``batch`` independent thread blocks
+    per step (they parallelize perfectly across problems), update kernels
+    process ``batch x width`` columns, and the stage-2/3 work scales
+    linearly while sharing launch overheads.  Thin shim over
+    :class:`repro.Solver`.
+    """
+    from ..solver import Solver
+
+    solver = Solver(
+        backend=backend, precision=precision, params=params, coeffs=coeffs
+    )
+    return solver.predict(n, batch=batch)
+
+
+def svdvals_batched_resolved(
+    As: Union[np.ndarray, Sequence[np.ndarray]],
+    config: SolveConfig,
+    return_info: bool = False,
+    workspace: Optional[np.ndarray] = None,
+    cost_cache: Optional[dict] = None,
+) -> Union[np.ndarray, Tuple[np.ndarray, TimeBreakdown]]:
+    """Batched-driver implementation against a resolved config.
+
+    The single shared code path behind :meth:`repro.Solver.solve` for 3-D
+    inputs and the legacy :func:`svdvals_batched` shim.  ``workspace`` and
+    ``cost_cache`` come from a reused :class:`repro.SvdPlan`; when absent,
+    one padded buffer and one launch-price memo are still allocated *once
+    per batch* so every matrix after the first skips that setup.
+    """
+    if isinstance(As, np.ndarray):
+        if As.ndim != 3:
+            raise ShapeError(f"expected (batch, n, n) array, got {As.shape}")
+        mats: List[np.ndarray] = [As[i] for i in range(As.shape[0])]
+    else:
+        mats = [np.asarray(a) for a in As]
+    if not mats:
+        raise ShapeError("empty batch")
+    n = mats[0].shape[0]
+    if n == 0:
+        raise ShapeError("empty matrix")
+    for a in mats:
+        if a.shape != (n, n):
+            raise ShapeError("all batch matrices must be square and equal-size")
+
+    # resolve the precision once for the whole batch (from the first
+    # matrix's dtype when the handle did not pin one)
+    storage = config.storage_for(mats[0].dtype)
+    batch_config = (
+        config if config.precision is not None
+        else config.with_(precision=storage)
+    )
+    if cost_cache is None:
+        cost_cache = {}
+    if workspace is None:
+        ts = batch_config.params.tilesize
+        npad = ntiles(n, ts) * ts
+        workspace = np.zeros((npad, npad), dtype=storage.dtype)
+
+    out = np.empty((len(mats), n), dtype=np.float64)
+    for i, a in enumerate(mats):
+        out[i] = svdvals_resolved(
+            a, batch_config, workspace=workspace, cost_cache=cost_cache
+        )
+    if not return_info:
+        return out
+    bd = predict_batched_resolved(n, len(mats), batch_config)
+    return out, bd
+
+
 def svdvals_batched(
     As: Union[np.ndarray, Sequence[np.ndarray]],
     backend: BackendLike = "h100",
@@ -164,34 +238,9 @@ def svdvals_batched(
     Accepts a 3-D array ``(batch, n, n)`` or a sequence of ``(n, n)``
     arrays; returns a ``(batch, n)`` array of descending singular values
     (and the batched-cost :class:`TimeBreakdown` with ``return_info``).
+    Thin shim over :class:`repro.Solver`.
     """
-    if isinstance(As, np.ndarray):
-        if As.ndim != 3:
-            raise ShapeError(f"expected (batch, n, n) array, got {As.shape}")
-        mats: List[np.ndarray] = [As[i] for i in range(As.shape[0])]
-    else:
-        mats = [np.asarray(a) for a in As]
-    if not mats:
-        raise ShapeError("empty batch")
-    n = mats[0].shape[0]
-    for a in mats:
-        if a.shape != (n, n):
-            raise ShapeError("all batch matrices must be square and equal-size")
+    from ..solver import Solver
 
-    if precision is None:
-        try:
-            from ..precision import resolve_precision
-
-            precision = resolve_precision(mats[0].dtype)
-        except Exception:
-            precision = "fp64"
-
-    out = np.empty((len(mats), n), dtype=np.float64)
-    for i, a in enumerate(mats):
-        out[i] = svdvals(
-            a, backend=backend, precision=precision, params=params
-        )
-    if not return_info:
-        return out
-    bd = predict_batched(n, len(mats), backend, precision, params)
-    return out, bd
+    solver = Solver(backend=backend, precision=precision, params=params)
+    return solver._solve_batched(As, return_info=return_info)

@@ -52,8 +52,10 @@ def jacobi_svdvals(
     ``min(m, n)`` singular values in descending order (float64).
     """
     A = np.asarray(A, dtype=np.float64)
-    if A.ndim != 2 or A.size == 0:
-        raise ShapeError(f"expected a non-empty 2-D matrix, got {A.shape}")
+    if A.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {A.shape}")
+    if A.size == 0:
+        raise ShapeError("empty matrix")
     if A.shape[0] < A.shape[1]:
         A = A.T
     W = np.array(A, copy=True, order="F")  # columns contiguous

@@ -24,14 +24,15 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from ..backends.backend import BackendLike, resolve_backend
+from ..backends.backend import BackendLike
+from ..config import SolveConfig
 from ..errors import ShapeError
-from ..precision import Precision, PrecisionLike
+from ..precision import PrecisionLike
 from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
 from ..sim.params import KernelParams
 from ..sim.session import Session
 from ..kernels import ftsmqr, ftsqrt, geqrt, unmqr
-from .svd import SVDInfo, svdvals as svdvals_square
+from .svd import SVDInfo, svdvals_resolved
 from .tiling import ntiles, tile
 
 __all__ = ["qr_reduce_tall", "svdvals_rect"]
@@ -89,62 +90,70 @@ def qr_reduce_tall(
     return np.triu(A[:n, :n])
 
 
-def svdvals_rect(
+def svdvals_rect_resolved(
     A: np.ndarray,
-    backend: BackendLike = "h100",
-    precision: Optional[PrecisionLike] = None,
-    params: Optional[KernelParams] = None,
+    config: SolveConfig,
     return_info: bool = False,
-    coeffs: CostCoefficients = DEFAULT_COEFFS,
+    workspace: Optional[np.ndarray] = None,
+    cost_cache: Optional[dict] = None,
+    square_workspace: Optional[np.ndarray] = None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
-    """Singular values of an arbitrary ``m x n`` real matrix.
+    """Rectangular-driver implementation against a resolved config.
 
-    Returns ``min(m, n)`` values in descending order.  Square inputs fall
-    through to the standard driver; rectangular inputs run the tall-QR
-    preprocessing (on the lazy transpose when ``m < n``) before the square
-    pipeline.
+    The single shared code path behind :meth:`repro.Solver.solve` for 2-D
+    non-square inputs and the legacy :func:`svdvals_rect` shim.
+    ``workspace`` (a zeroable ``(mpad, npad)`` buffer), ``square_workspace``
+    (the ``(npad, npad)`` buffer for the R-factor solve) and ``cost_cache``
+    come from a reused :class:`repro.SvdPlan`.
     """
     A = np.asarray(A)
-    if A.ndim != 2 or min(A.shape) == 0:
-        raise ShapeError(f"expected a non-empty 2-D matrix, got {A.shape}")
+    if A.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {A.shape}")
+    if min(A.shape) == 0:
+        raise ShapeError("empty matrix")
     m, n = A.shape
     if m == n:
-        return svdvals_square(
-            A, backend=backend, precision=precision, params=params,
-            return_info=return_info, coeffs=coeffs,
-        )
+        return svdvals_resolved(A, config, return_info=return_info)
     if m < n:
         # singular values are transpose-invariant: zero-copy view
-        return svdvals_rect(
-            A.T, backend=backend, precision=precision, params=params,
-            return_info=return_info, coeffs=coeffs,
+        return svdvals_rect_resolved(
+            A.T, config, return_info=return_info,
+            workspace=workspace, cost_cache=cost_cache,
+            square_workspace=square_workspace,
         )
 
-    be = resolve_backend(backend)
-    if precision is None:
-        try:
-            from ..precision import resolve_precision
-
-            precision = resolve_precision(A.dtype)
-        except Exception:
-            precision = Precision.FP64
-    session = Session.create(be, precision, params=params, coeffs=coeffs)
-    storage = session.storage
+    be = config.backend
+    storage = config.storage_for(A.dtype)
+    session = config.session(storage, cost_cache=cost_cache)
     be.check_capacity(int(np.sqrt(m * n)) + 1, storage)
     ts = session.params.tilesize
 
     mpad = ntiles(m, ts) * ts
     npad = ntiles(n, ts) * ts
-    W = np.zeros((mpad, npad), dtype=storage.dtype)
+    if workspace is None:
+        W = np.zeros((mpad, npad), dtype=storage.dtype)
+    else:
+        if workspace.shape != (mpad, npad) or workspace.dtype != storage.dtype:
+            raise ShapeError(
+                f"workspace {workspace.shape}/{workspace.dtype} does not "
+                f"match padded problem ({mpad}, {npad})/{storage.dtype}"
+            )
+        W = workspace
+        W.fill(0)
     W[:m, :n] = np.asarray(A, dtype=storage.dtype)
     compute_dtype = (
         session.compute.dtype if session.compute is not session.storage else None
     )
     R = qr_reduce_tall(W, ts, storage.eps, session, compute_dtype)
 
-    out = svdvals_square(
-        R[:n, :n], backend=be, precision=precision, params=params,
-        return_info=return_info, coeffs=coeffs,
+    # pin the inferred precision so the square solve of R cannot re-infer
+    square_config = (
+        config if config.precision is not None
+        else config.with_(precision=storage)
+    )
+    out = svdvals_resolved(
+        R[:n, :n], square_config, return_info=return_info,
+        workspace=square_workspace, cost_cache=cost_cache,
     )
     if not return_info:
         return out[:n] if out.shape[0] > n else out
@@ -159,3 +168,26 @@ def svdvals_rect(
     info.flops += pre.total_flops
     info.bytes += pre.total_bytes
     return vals, info
+
+
+def svdvals_rect(
+    A: np.ndarray,
+    backend: BackendLike = "h100",
+    precision: Optional[PrecisionLike] = None,
+    params: Optional[KernelParams] = None,
+    return_info: bool = False,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
+    """Singular values of an arbitrary ``m x n`` real matrix.
+
+    Returns ``min(m, n)`` values in descending order.  Square inputs fall
+    through to the standard driver; rectangular inputs run the tall-QR
+    preprocessing (on the lazy transpose when ``m < n``) before the square
+    pipeline.  Thin shim over :class:`repro.Solver`.
+    """
+    from ..solver import Solver
+
+    solver = Solver(
+        backend=backend, precision=precision, params=params, coeffs=coeffs
+    )
+    return solver._solve_rect(A, return_info=return_info)

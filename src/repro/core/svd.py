@@ -24,17 +24,17 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..backends.backend import BackendLike, resolve_backend
+from ..backends.backend import BackendLike
+from ..config import SolveConfig
 from ..errors import ShapeError
 from ..precision import Precision, PrecisionLike
 from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
 from ..sim.params import KernelParams
-from ..sim.session import Session
 from ..sim.tracing import Stage
 from .banddiag import reduce_to_band
 from .bidiag import svdvals_bidiag
 from .brd import band_to_bidiagonal
-from .tiling import extract_band, pad_to_tiles
+from .tiling import extract_band, ntiles, pad_to_tiles
 
 __all__ = ["SVDInfo", "svdvals"]
 
@@ -94,6 +94,108 @@ def _rescale_factor(A: np.ndarray, storage: Precision) -> float:
     return 1.0
 
 
+def svdvals_resolved(
+    A: np.ndarray,
+    config: SolveConfig,
+    return_info: bool = False,
+    workspace: Optional[np.ndarray] = None,
+    cost_cache: Optional[dict] = None,
+) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
+    """Square-driver implementation against a resolved :class:`SolveConfig`.
+
+    This is the single shared code path behind :meth:`repro.Solver.solve`
+    and the legacy :func:`svdvals` shim.  ``workspace`` (a zeroable padded
+    buffer in storage precision) and ``cost_cache`` (a launch-price memo)
+    are supplied by a reused :class:`repro.SvdPlan` to skip the per-call
+    setup; results are bitwise identical either way.
+    """
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ShapeError(
+            f"unified svdvals expects a square matrix, got shape {A.shape} "
+            "(use repro.svdvals_rect for rectangular inputs)"
+        )
+    n = A.shape[0]
+    if n == 0:
+        raise ShapeError("empty matrix")
+    if config.check_finite and not np.all(np.isfinite(A)):
+        raise ShapeError("input matrix contains NaN or Inf entries")
+
+    be = config.backend
+    storage = config.storage_for(A.dtype)
+    session = config.session(storage, cost_cache=cost_cache)
+    be.check_capacity(n, storage)
+    kp = session.params
+    ts = kp.tilesize
+
+    # optional exact power-of-two rescaling into the precision's safe range
+    scale = _rescale_factor(A, storage) if config.rescale else 1.0
+    src = A if scale == 1.0 else A * scale
+
+    # upload in storage precision and zero-pad to full tiles
+    if workspace is None:
+        W, _ = pad_to_tiles(np.asarray(src, dtype=storage.dtype), ts)
+    else:
+        npad_want = ntiles(n, ts) * ts
+        if workspace.shape != (npad_want, npad_want) or (
+            workspace.dtype != storage.dtype
+        ):
+            raise ShapeError(
+                f"workspace {workspace.shape}/{workspace.dtype} does not "
+                f"match padded problem ({npad_want}, {npad_want})/"
+                f"{storage.dtype}"
+            )
+        W = workspace
+        W.fill(0)
+        W[:n, :n] = src
+    npad = W.shape[0]
+
+    compute_dtype = (
+        session.compute.dtype if session.compute is not storage else None
+    )
+    eps = storage.eps
+
+    # ---- stage 1: dense -> band ----------------------------------------- #
+    reduce_to_band(
+        W, ts, eps, session, fused=config.fused, compute_dtype=compute_dtype
+    )
+
+    # ---- stage 2: band -> bidiagonal ------------------------------------ #
+    band = extract_band(W, ts)
+    work_dtype = compute_dtype if compute_dtype is not None else storage.dtype
+    band_c = band.astype(work_dtype, copy=False)
+    d, e = band_to_bidiagonal(band_c, ts, session=session, inplace=True)
+    # round through storage precision, as a device-resident result would be
+    d = d.astype(storage.dtype).astype(np.float64)
+    e = e.astype(storage.dtype).astype(np.float64)
+
+    # ---- stage 3: bidiagonal -> singular values (CPU) -------------------- #
+    session.launch_solve(n)
+    vals = svdvals_bidiag(d, e, method=config.stage3)
+
+    # zero padding contributed exactly (npad - n) zero singular values
+    vals = vals[:n].copy()
+    if scale != 1.0:
+        vals /= scale
+
+    if not return_info:
+        return vals
+    tracer = session.tracer
+    info = SVDInfo(
+        n=n,
+        backend=be.name,
+        precision=storage.name_lower,
+        params=kp,
+        fused=config.fused,
+        simulated_seconds=tracer.total_seconds,
+        stage_seconds=tracer.stage_breakdown(),
+        launch_counts=tracer.kernel_counts(),
+        flops=tracer.total_flops,
+        bytes=tracer.total_bytes,
+    )
+    return vals, info
+
+
 def svdvals(
     A: np.ndarray,
     backend: BackendLike = "h100",
@@ -107,6 +209,9 @@ def svdvals(
     rescale: bool = True,
 ) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
     """Compute all singular values of a square matrix on a simulated GPU.
+
+    This is a thin shim over :class:`repro.Solver` (the recommended
+    surface): it builds a one-shot handle and runs the square driver.
 
     Parameters
     ----------
@@ -148,81 +253,16 @@ def svdvals(
     Singular values in descending order (float64), optionally with the
     execution report.
     """
-    A = np.asarray(A)
-    if A.ndim != 2 or A.shape[0] != A.shape[1]:
-        raise ShapeError(
-            f"unified svdvals expects a square matrix, got shape {A.shape} "
-            "(use repro.svdvals_rect for rectangular inputs)"
-        )
-    n = A.shape[0]
-    if n == 0:
-        raise ShapeError("empty matrix")
-    if check_finite and not np.all(np.isfinite(A)):
-        raise ShapeError("input matrix contains NaN or Inf entries")
+    from ..solver import Solver
 
-    be = resolve_backend(backend)
-    if precision is None:
-        try:
-            precision = Precision(
-                {np.float16: "fp16", np.float32: "fp32", np.float64: "fp64"}[
-                    A.dtype.type
-                ]
-            )
-        except KeyError:
-            precision = Precision.FP64
-    session = Session.create(be, precision, params=params, coeffs=coeffs)
-    storage = session.storage
-    be.check_capacity(n, storage)
-    kp = session.params
-    ts = kp.tilesize
-
-    # optional exact power-of-two rescaling into the precision's safe range
-    scale = _rescale_factor(A, storage) if rescale else 1.0
-    src = A if scale == 1.0 else A * scale
-
-    # upload in storage precision and zero-pad to full tiles
-    W, _ = pad_to_tiles(np.asarray(src, dtype=storage.dtype), ts)
-    npad = W.shape[0]
-
-    compute_dtype = (
-        session.compute.dtype if session.compute is not storage else None
-    )
-    eps = storage.eps
-
-    # ---- stage 1: dense -> band ----------------------------------------- #
-    reduce_to_band(W, ts, eps, session, fused=fused, compute_dtype=compute_dtype)
-
-    # ---- stage 2: band -> bidiagonal ------------------------------------ #
-    band = extract_band(W, ts)
-    work_dtype = compute_dtype if compute_dtype is not None else storage.dtype
-    band_c = band.astype(work_dtype, copy=False)
-    d, e = band_to_bidiagonal(band_c, ts, session=session, inplace=True)
-    # round through storage precision, as a device-resident result would be
-    d = d.astype(storage.dtype).astype(np.float64)
-    e = e.astype(storage.dtype).astype(np.float64)
-
-    # ---- stage 3: bidiagonal -> singular values (CPU) -------------------- #
-    session.launch_solve(n)
-    vals = svdvals_bidiag(d, e, method=stage3)
-
-    # zero padding contributed exactly (npad - n) zero singular values
-    vals = vals[:n].copy()
-    if scale != 1.0:
-        vals /= scale
-
-    if not return_info:
-        return vals
-    tracer = session.tracer
-    info = SVDInfo(
-        n=n,
-        backend=be.name,
-        precision=storage.name_lower,
-        params=kp,
+    solver = Solver(
+        backend=backend,
+        precision=precision,
+        params=params,
+        coeffs=coeffs,
+        stage3=stage3,
         fused=fused,
-        simulated_seconds=tracer.total_seconds,
-        stage_seconds=tracer.stage_breakdown(),
-        launch_counts=tracer.kernel_counts(),
-        flops=tracer.total_flops,
-        bytes=tracer.total_bytes,
+        check_finite=check_finite,
+        rescale=rescale,
     )
-    return vals, info
+    return solver._solve_square(A, return_info=return_info)

@@ -328,26 +328,12 @@ def _complete_basis(Q: np.ndarray, keep: np.ndarray) -> np.ndarray:
 # --------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------- #
-def svd_full(
-    A: np.ndarray,
-    backend="h100",
-    precision=None,
-    params=None,
-    return_info: bool = False,
-):
-    """Full SVD ``A = U diag(s) Vt`` on the simulated GPU.
+def svd_full_resolved(A: np.ndarray, config, return_info: bool = False):
+    """Full-SVD implementation against a resolved :class:`SolveConfig`.
 
-    Implements the paper's future-work extension with the same three-stage
-    pipeline, accumulating the orthogonal transformations of every stage.
-    Vector accumulation runs in the backend's compute precision.
-
-    Returns an :class:`SVDResult` (and the driver's ``SVDInfo`` when
-    ``return_info=True``).  Singular values are sorted in descending order
-    with columns of ``U`` / rows of ``Vt`` permuted to match.
+    The single shared code path behind :meth:`repro.Solver.svd` and the
+    legacy :func:`svd_full` shim.
     """
-    from ..backends.backend import resolve_backend
-    from ..precision import Precision
-    from ..sim.costmodel import DEFAULT_COEFFS
     from .svd import SVDInfo
 
     A = np.asarray(A)
@@ -356,17 +342,12 @@ def svd_full(
     n = A.shape[0]
     if n == 0:
         raise ShapeError("empty matrix")
+    if config.check_finite and not np.all(np.isfinite(A)):
+        raise ShapeError("input matrix contains NaN or Inf entries")
 
-    be = resolve_backend(backend)
-    if precision is None:
-        try:
-            from ..precision import resolve_precision
-
-            precision = resolve_precision(A.dtype)
-        except Exception:
-            precision = Precision.FP64
-    session = Session.create(be, precision, params=params)
-    storage = session.storage
+    be = config.backend
+    storage = config.storage_for(A.dtype)
+    session = config.session(storage)
     be.check_capacity(n, storage)
     ts = session.params.tilesize
 
@@ -426,3 +407,27 @@ def svd_full(
         bytes=tracer.total_bytes,
     )
     return result, info
+
+
+def svd_full(
+    A: np.ndarray,
+    backend="h100",
+    precision=None,
+    params=None,
+    return_info: bool = False,
+):
+    """Full SVD ``A = U diag(s) Vt`` on the simulated GPU.
+
+    Implements the paper's future-work extension with the same three-stage
+    pipeline, accumulating the orthogonal transformations of every stage.
+    Vector accumulation runs in the backend's compute precision.
+
+    Returns an :class:`SVDResult` (and the driver's ``SVDInfo`` when
+    ``return_info=True``).  Singular values are sorted in descending order
+    with columns of ``U`` / rows of ``Vt`` permuted to match.  Thin shim
+    over :class:`repro.Solver`.
+    """
+    from ..solver import Solver
+
+    solver = Solver(backend=backend, precision=precision, params=params)
+    return solver.svd(A, return_info=return_info)

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..report import format_seconds, format_table
-from ..sim import KernelParams, predict, stage1_launch_count
+from ..sim import KernelParams, stage1_launch_count
+from ..solver import Solver
 
 __all__ = [
     "FusionRow",
@@ -57,10 +58,13 @@ def run_fusion(
     """Price both schedules at every size."""
     rows = []
     params = KernelParams()
+    # one handle per schedule variant, reused across the whole size sweep
+    fused_solver = Solver(backend=backend, precision=precision, params=params)
+    unfused_solver = fused_solver.with_(fused=False)
     for n in sizes:
         nbt = -(-n // params.tilesize)
-        bf = predict(n, backend, precision, params, fused=True, check_capacity=False)
-        bu = predict(n, backend, precision, params, fused=False, check_capacity=False)
+        bf = fused_solver.predict(n, check_capacity=False)
+        bu = unfused_solver.predict(n, check_capacity=False)
         rows.append(
             FusionRow(
                 n=n,
@@ -110,9 +114,10 @@ def run_splitk(
 ) -> List[SplitkRow]:
     """Sweep SPLITK at fixed TILESIZE=32, COLPERBLOCK=32."""
     rows = []
+    base = Solver(backend=backend, precision=precision)
     for sk in values:
         params = KernelParams(tilesize=32, colperblock=32, splitk=sk)
-        bd = predict(n, backend, precision, params, check_capacity=False)
+        bd = base.with_(params=params).predict(n, check_capacity=False)
         rows.append(SplitkRow(n, sk, bd.panel_s, bd.total_s))
     return rows
 

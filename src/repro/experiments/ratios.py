@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from functools import lru_cache
+
 from ..baselines import get_baseline
 from ..report import format_ratio, format_table, geomean
-from ..sim import KernelParams, predict
+from ..solver import Solver
 from ..tuning import autotune
 from .common import SIZES_HPC, SIZES_VENDOR
 
@@ -65,6 +67,17 @@ class RatioCurve:
         return (min(self.ratios), max(self.ratios))
 
 
+@lru_cache(maxsize=None)
+def _solver(backend: str, precision: str) -> Solver:
+    """One reusable handle per (backend, precision) pair.
+
+    Every ratio curve prices dozens of sizes against the same device;
+    constructing the :class:`Solver` once per pair is the intended handle
+    idiom (per-size tuned hyperparameters are swapped in via ``with_``).
+    """
+    return Solver(backend=backend, precision=precision)
+
+
 def unified_time(
     n: int,
     backend: str,
@@ -73,12 +86,10 @@ def unified_time(
 ) -> float:
     """Predicted unified runtime; hyperparameters autotuned per size
     (the paper selects the optimal combination per hardware and type)."""
-    params: Optional[KernelParams] = (
-        autotune(n, backend, precision) if tuned else None
-    )
-    return predict(
-        n, backend, precision, params=params, check_capacity=False
-    ).total_s
+    solver = _solver(backend, precision)
+    if tuned:
+        solver = solver.with_(params=autotune(n, backend, precision))
+    return solver.predict(n, check_capacity=False).total_s
 
 
 def ratio_curve(

@@ -21,7 +21,7 @@ stored back in FP16 (paper section 4.3).  See
 from __future__ import annotations
 
 import enum
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -77,6 +77,32 @@ class Precision(enum.Enum):
     def bits(self) -> int:
         """Number of bits per element."""
         return self.sizeof * 8
+
+    # ------------------------------------------------------------------ #
+    # dtype inference
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dtype(
+        cls, dtype, default: Optional["Precision"] = None
+    ) -> "Precision":
+        """Infer the storage precision from a NumPy dtype.
+
+        This is the single place the drivers' ``precision=None`` inference
+        lives: ``float16/float32/float64`` map to their precisions, any
+        other dtype (integers, bools, ...) falls back to ``default``
+        (:attr:`Precision.FP64` when not given), matching the unified
+        driver's historical behaviour.
+        """
+        if default is None:
+            default = cls.FP64
+        try:
+            dt = np.dtype(dtype)
+        except TypeError:
+            return default
+        for prec, pdt in _DTYPES.items():
+            if dt == pdt:
+                return prec
+        return default
 
     def at_least(self, other: "Precision") -> "Precision":
         """Return the wider of ``self`` and ``other``.

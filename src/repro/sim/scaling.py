@@ -24,43 +24,31 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from ..backends.backend import BackendLike, resolve_backend
+from ..backends.backend import BackendLike
 from ..errors import CapacityError, ShapeError
 from ..precision import PrecisionLike
 from .costmodel import DEFAULT_COEFFS, CostCoefficients
 from .params import KernelParams
-from .schedule import TimeBreakdown, predict
+from .schedule import TimeBreakdown, predict_resolved
 
 __all__ = ["predict_out_of_core", "predict_multi_gpu"]
 
 
-def predict_out_of_core(
-    n: int,
-    backend: BackendLike,
-    precision: PrecisionLike,
-    params: Optional[KernelParams] = None,
-    coeffs: CostCoefficients = DEFAULT_COEFFS,
-) -> TimeBreakdown:
-    """Predict runtime when the matrix exceeds device memory.
+def predict_out_of_core_resolved(n: int, config) -> TimeBreakdown:
+    """Out-of-core prediction against a resolved ``SolveConfig``.
 
-    The schedule keeps the active panel and one trailing row-block
-    resident; every sweep streams the trailing submatrix in and out over
-    the host link once.  Total host traffic is therefore about
-    ``2 * sum_k (n - k*ts)^2 ~ (2/3) n^3 / ts`` elements - the classic
-    out-of-core LU/QR bound - and the stage-1 update time becomes the
-    maximum of the in-core update time and that transfer time.
+    The single shared code path behind :meth:`repro.Solver.predict` with
+    ``out_of_core=True`` and the legacy :func:`predict_out_of_core` shim.
     """
-    be = resolve_backend(backend)
-    storage = be.check_precision(precision)
-    if params is None:
-        params = KernelParams()
+    be = config.backend
+    storage = config.require_precision("out-of-core prediction")
+    params = config.params
+    coeffs = config.coeffs
     if n < 1:
         raise ShapeError(f"matrix order must be positive, got {n}")
 
     # in-core baseline without the capacity guard
-    bd = predict(
-        n, be, storage, params=params, coeffs=coeffs, check_capacity=False
-    )
+    bd = predict_resolved(n, config, check_capacity=False)
     if n <= be.max_n(storage):
         return bd  # fits: out-of-core machinery is a no-op
 
@@ -87,37 +75,45 @@ def predict_out_of_core(
     return ooc
 
 
-def predict_multi_gpu(
+def predict_out_of_core(
     n: int,
     backend: BackendLike,
     precision: PrecisionLike,
-    ngpus: int,
     params: Optional[KernelParams] = None,
     coeffs: CostCoefficients = DEFAULT_COEFFS,
-    link_gbs: float = 100.0,
 ) -> TimeBreakdown:
-    """Predict stage-1 scaling over ``ngpus`` identical devices.
+    """Predict runtime when the matrix exceeds device memory.
 
-    Tile rows are block-cyclically distributed: trailing updates divide by
-    the device count, the panel factorization chain stays serial (one
-    device owns each panel), and each sweep broadcasts its panel tiles
-    (``~2 n ts`` elements) over the interconnect.  Stages 2-3 remain
-    single-device (they are small; the paper defers their distribution to
-    the Dagger integration it envisions).
+    The schedule keeps the active panel and one trailing row-block
+    resident; every sweep streams the trailing submatrix in and out over
+    the host link once.  Total host traffic is therefore about
+    ``2 * sum_k (n - k*ts)^2 ~ (2/3) n^3 / ts`` elements - the classic
+    out-of-core LU/QR bound - and the stage-1 update time becomes the
+    maximum of the in-core update time and that transfer time.  Thin shim
+    over :class:`repro.Solver`.
+    """
+    from ..solver import Solver
 
-    Amdahl's law emerges naturally: speedup saturates once the serial
-    panel chain dominates.
+    solver = Solver(
+        backend=backend, precision=precision, params=params, coeffs=coeffs
+    )
+    return solver.predict(n, out_of_core=True)
+
+
+def predict_multi_gpu_resolved(
+    n: int, config, ngpus: int, link_gbs: float = 100.0
+) -> TimeBreakdown:
+    """Multi-GPU prediction against a resolved ``SolveConfig``.
+
+    The single shared code path behind :meth:`repro.Solver.predict` with
+    ``ngpu=`` and the legacy :func:`predict_multi_gpu` shim.
     """
     if ngpus < 1:
         raise ShapeError(f"need at least one GPU, got {ngpus}")
-    be = resolve_backend(backend)
-    storage = be.check_precision(precision)
-    if params is None:
-        params = KernelParams()
+    storage = config.require_precision("multi-GPU prediction")
+    params = config.params
 
-    bd = predict(
-        n, be, storage, params=params, coeffs=coeffs, check_capacity=False
-    )
+    bd = predict_resolved(n, config, check_capacity=False)
     if ngpus == 1:
         return bd
 
@@ -144,3 +140,32 @@ def predict_multi_gpu(
     )
     out.launches["panel_bcast"] = 2 * (nbt - 1)
     return out
+
+
+def predict_multi_gpu(
+    n: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    ngpus: int,
+    params: Optional[KernelParams] = None,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+    link_gbs: float = 100.0,
+) -> TimeBreakdown:
+    """Predict stage-1 scaling over ``ngpus`` identical devices.
+
+    Tile rows are block-cyclically distributed: trailing updates divide by
+    the device count, the panel factorization chain stays serial (one
+    device owns each panel), and each sweep broadcasts its panel tiles
+    (``~2 n ts`` elements) over the interconnect.  Stages 2-3 remain
+    single-device (they are small; the paper defers their distribution to
+    the Dagger integration it envisions).
+
+    Amdahl's law emerges naturally: speedup saturates once the serial
+    panel chain dominates.  Thin shim over :class:`repro.Solver`.
+    """
+    from ..solver import Solver
+
+    solver = Solver(
+        backend=backend, precision=precision, params=params, coeffs=coeffs
+    )
+    return solver.predict(n, ngpu=ngpus, link_gbs=link_gbs, check_capacity=False)

@@ -24,9 +24,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..backends.backend import Backend, BackendLike, resolve_backend
+from ..backends.backend import BackendLike
 from ..errors import ShapeError
-from ..precision import Precision, PrecisionLike
+from ..precision import PrecisionLike
 from .costmodel import (
     DEFAULT_COEFFS,
     CostCoefficients,
@@ -114,25 +114,20 @@ def stage1_launch_count(nbtiles: int, fused: bool = True) -> int:
     return total
 
 
-def predict(
-    n: int,
-    backend: BackendLike,
-    precision: PrecisionLike,
-    params: Optional[KernelParams] = None,
-    fused: bool = True,
-    coeffs: CostCoefficients = DEFAULT_COEFFS,
-    check_capacity: bool = True,
+def predict_resolved(
+    n: int, config, check_capacity: bool = True
 ) -> TimeBreakdown:
-    """Predict the simulated runtime of ``svdvals`` on an ``n x n`` matrix.
+    """Single-matrix prediction against a resolved ``SolveConfig``.
 
-    Parameters mirror :func:`repro.svdvals`; this function never executes
-    numerics and is safe for the paper's largest sizes.
+    The single shared code path behind :meth:`repro.Solver.predict` and
+    the legacy :func:`predict` shim.
     """
-    be = resolve_backend(backend)
-    storage = be.check_precision(precision)
+    be = config.backend
+    storage = config.require_precision("prediction")
     compute = be.compute_precision(storage)
-    if params is None:
-        params = KernelParams()
+    params = config.params
+    fused = config.fused
+    coeffs = config.coeffs
     if n < 1:
         raise ShapeError(f"matrix order must be positive, got {n}")
     if check_capacity:
@@ -263,3 +258,27 @@ def predict(
 
     bd.launches = launches
     return bd
+
+
+def predict(
+    n: int,
+    backend: BackendLike,
+    precision: PrecisionLike,
+    params: Optional[KernelParams] = None,
+    fused: bool = True,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+    check_capacity: bool = True,
+) -> TimeBreakdown:
+    """Predict the simulated runtime of ``svdvals`` on an ``n x n`` matrix.
+
+    Parameters mirror :func:`repro.svdvals`; this function never executes
+    numerics and is safe for the paper's largest sizes.  Thin shim over
+    :class:`repro.Solver`.
+    """
+    from ..solver import Solver
+
+    solver = Solver(
+        backend=backend, precision=precision, params=params, coeffs=coeffs,
+        fused=fused,
+    )
+    return solver.predict(n, check_capacity=check_capacity)

@@ -14,7 +14,7 @@ The same launch calls are generated analytically by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..backends.backend import Backend, BackendLike, resolve_backend
 from ..precision import Precision, PrecisionLike
@@ -45,6 +45,12 @@ class Session:
     params: KernelParams
     coeffs: CostCoefficients = DEFAULT_COEFFS
     tracer: Tracer = field(default_factory=Tracer)
+    #: Optional launch-shape -> LaunchCost memo.  The launch schedule of a
+    #: fixed problem shape prices the same few launch shapes over and over;
+    #: an :class:`~repro.solver.SvdPlan` shares one cache across repeated
+    #: solves so only the first run pays the cost-model arithmetic.
+    #: ``LaunchCost`` is frozen, so sharing instances is safe.
+    cost_cache: Optional[Dict[Tuple, LaunchCost]] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -86,18 +92,31 @@ class Session:
             )
         )
 
+    def _cached(self, key: Tuple, compute_cost) -> LaunchCost:
+        """Fetch a launch cost from the shared cache, pricing it on miss."""
+        if self.cost_cache is None:
+            return compute_cost()
+        cost = self.cost_cache.get(key)
+        if cost is None:
+            cost = compute_cost()
+            self.cost_cache[key] = cost
+        return cost
+
     def launch_panel(
         self, kernel: str, nbodies: int = 1, body_tiles: int = 1
     ) -> None:
         """Record a panel-kernel launch (GEQRT / TSQRT / FTSQRT)."""
-        cost = panel_cost(
-            self.backend.device,
-            self.params,
-            self.storage,
-            self.compute,
-            nbodies=nbodies,
-            body_tiles=body_tiles,
-            coeffs=self.coeffs,
+        cost = self._cached(
+            ("panel", nbodies, body_tiles),
+            lambda: panel_cost(
+                self.backend.device,
+                self.params,
+                self.storage,
+                self.compute,
+                nbodies=nbodies,
+                body_tiles=body_tiles,
+                coeffs=self.coeffs,
+            ),
         )
         self._record(kernel, Stage.PANEL, cost, 1, self.params.panel_threads)
 
@@ -111,23 +130,30 @@ class Session:
         """Record an update-kernel launch (UNMQR / TSMQR / FTSMQR)."""
         if width_cols <= 0:
             return
-        cost = update_cost(
-            self.backend.device,
-            self.params,
-            self.storage,
-            self.compute,
-            width_cols=width_cols,
-            nrows=nrows,
-            has_top_row=has_top_row,
-            coeffs=self.coeffs,
+        cost = self._cached(
+            ("update", width_cols, nrows, has_top_row),
+            lambda: update_cost(
+                self.backend.device,
+                self.params,
+                self.storage,
+                self.compute,
+                width_cols=width_cols,
+                nrows=nrows,
+                has_top_row=has_top_row,
+                coeffs=self.coeffs,
+            ),
         )
         grid = max(1, -(-width_cols // self.params.colperblock))
         self._record(kernel, Stage.UPDATE, cost, grid, self.params.colperblock)
 
     def launch_brd(self, n: int, band: int) -> None:
         """Record the stage-2 bulge-chasing launches."""
-        cost = brd_cost(
-            self.backend.device, n, band, self.storage, self.compute, self.coeffs
+        cost = self._cached(
+            ("brd", n, band),
+            lambda: brd_cost(
+                self.backend.device, n, band, self.storage, self.compute,
+                self.coeffs,
+            ),
         )
         launches = brd_launch_count(n, band, self.coeffs)
         if launches == 0:
@@ -141,7 +167,12 @@ class Session:
 
     def launch_solve(self, n: int) -> None:
         """Record the stage-3 CPU bidiagonal solve."""
-        cost = bidiag_solve_cost(self.backend.device, n, self.storage, self.coeffs)
+        cost = self._cached(
+            ("solve", n),
+            lambda: bidiag_solve_cost(
+                self.backend.device, n, self.storage, self.coeffs
+            ),
+        )
         self.tracer.record(
             LaunchRecord(
                 kernel="bdsqr_cpu", stage=Stage.SOLVE, cost=cost, overhead_s=0.0

@@ -1,0 +1,535 @@
+"""The unified solver handle: one object for solve, predict, and batch.
+
+The paper's headline claim is *one* hardware- and precision-agnostic code
+path for singular value computation.  :class:`Solver` restores that story
+at the API level with the handle + plan/execute idiom of production GPU
+math libraries (cuSOLVER handles, FFTW plans):
+
+* the **handle** is constructed once — backend, precision, hyperparameters,
+  cost coefficients, stage-3 method and fusion mode are resolved and
+  validated up front (:class:`repro.SolveConfig`) and never re-resolved per
+  call;
+* :meth:`Solver.solve` dispatches on the input's shape — square matrices
+  run the two-stage QR driver, rectangular matrices the tall-QR
+  preprocessing, 3-D stacks the batched driver — so callers stop choosing
+  between ``svdvals`` / ``svdvals_rect`` / ``svdvals_batched`` by hand;
+* :meth:`Solver.predict` is the one prediction front door replacing the
+  four ``predict*`` variants (single-GPU, batched, multi-GPU, out-of-core);
+* :meth:`Solver.plan` returns a reusable :class:`SvdPlan` that precomputes
+  the padding/tiling metadata, capacity check, padded workspace and launch
+  prices for one problem shape, so repeated same-shape solves skip the
+  per-call setup entirely (results are bitwise identical to one-shot
+  calls).
+
+Every legacy entry point (``repro.svdvals``, ``svdvals_rect``,
+``svdvals_batched``, ``svd_full``, ``predict``, ``predict_batched``,
+``predict_multi_gpu``, ``predict_out_of_core``) is now a thin shim over a
+one-shot ``Solver``, so there is exactly one dispatch point where batching,
+caching and multi-backend sharding can hook in.
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> solver = repro.Solver(backend="h100", precision="fp32")
+>>> A = np.random.default_rng(0).standard_normal((256, 256))
+>>> sv = solver.solve(A)                        # square driver
+>>> sv3 = solver.solve(A[None].repeat(4, 0))    # batched driver
+>>> bd = solver.predict(32768)                  # analytic prediction
+>>> plan = solver.plan((128, 128))              # amortize per-call setup
+>>> sv_again = plan.execute(A[:128, :128])
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .backends.backend import Backend, BackendLike
+from .config import SolveConfig
+from .errors import InvalidParamsError, ShapeError
+from .precision import Precision, PrecisionLike
+from .sim.costmodel import (
+    CostCoefficients,
+    bidiag_solve_cost,
+    brd_cost,
+    panel_cost,
+    update_cost,
+)
+from .sim.params import KernelParams
+from .sim.schedule import TimeBreakdown, predict_resolved
+from .sim.tracing import Stage
+from .core.batched import predict_batched_resolved, svdvals_batched_resolved
+from .core.rectangular import svdvals_rect_resolved
+from .core.svd import svdvals_resolved
+from .core.tiling import ntiles
+from .core.vectors import svd_full_resolved
+from .sim.scaling import predict_multi_gpu_resolved, predict_out_of_core_resolved
+
+__all__ = ["Solver", "SvdPlan"]
+
+
+class Solver:
+    """Reusable handle for unified singular value computation.
+
+    All configuration axes are resolved and validated at construction;
+    afterwards the handle is immutable and cheap to call.  Use
+    :meth:`with_` to derive a variant handle (e.g. other hyperparameters)
+    without re-specifying everything.
+    """
+
+    __slots__ = ("_config",)
+
+    def __init__(
+        self,
+        backend: BackendLike = "h100",
+        precision: Optional[PrecisionLike] = None,
+        params: Optional[KernelParams] = None,
+        coeffs: Optional[CostCoefficients] = None,
+        stage3: str = "auto",
+        fused: bool = True,
+        check_finite: bool = True,
+        rescale: bool = True,
+    ) -> None:
+        self._config = SolveConfig.resolve(
+            backend=backend,
+            precision=precision,
+            params=params,
+            coeffs=coeffs,
+            stage3=stage3,
+            fused=fused,
+            check_finite=check_finite,
+            rescale=rescale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(cls, config: SolveConfig) -> "Solver":
+        """Wrap an already-resolved :class:`SolveConfig`."""
+        if not isinstance(config, SolveConfig):
+            raise InvalidParamsError(
+                f"from_config expects a SolveConfig, got {type(config).__name__}"
+            )
+        solver = cls.__new__(cls)
+        solver._config = config
+        return solver
+
+    def with_(self, **kwargs) -> "Solver":
+        """Derive a handle with some axes replaced (re-validated)."""
+        return type(self).from_config(self._config.with_(**kwargs))
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SolveConfig:
+        """The frozen resolved configuration."""
+        return self._config
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved backend."""
+        return self._config.backend
+
+    @property
+    def precision(self) -> Optional[Precision]:
+        """Configured precision (``None`` = inferred per input dtype)."""
+        return self._config.precision
+
+    @property
+    def params(self) -> KernelParams:
+        """The resolved kernel hyperparameters."""
+        return self._config.params
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cfg = self._config
+        prec = cfg.precision.name_lower if cfg.precision else "auto"
+        return (
+            f"Solver(backend={cfg.backend.name!r}, precision={prec!r}, "
+            f"params={cfg.params}, stage3={cfg.stage3!r}, fused={cfg.fused})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # numeric front doors
+    # ------------------------------------------------------------------ #
+    def solve(self, A: np.ndarray, return_info: bool = False):
+        """Singular values of ``A``, dispatching on its shape.
+
+        * ``(n, n)`` square  -> two-stage QR driver;
+        * ``(m, n)`` rectangular -> tall-QR preprocessing + square driver;
+        * ``(batch, n, n)`` stack -> batched driver.
+
+        Returns descending singular values (``(min(m, n),)`` for 2-D
+        inputs, ``(batch, n)`` for stacks), plus the execution report when
+        ``return_info=True``.
+        """
+        A = np.asarray(A)
+        if A.ndim == 3:
+            return self._solve_batched(A, return_info=return_info)
+        if A.ndim == 2:
+            if A.shape[0] == A.shape[1]:
+                return self._solve_square(A, return_info=return_info)
+            return self._solve_rect(A, return_info=return_info)
+        raise ShapeError(
+            f"Solver.solve expects a 2-D matrix or a (batch, n, n) stack, "
+            f"got shape {A.shape}"
+        )
+
+    def svdvals(self, A: np.ndarray, return_info: bool = False):
+        """Alias of :meth:`solve` (values only, any supported shape)."""
+        return self.solve(A, return_info=return_info)
+
+    def svd(self, A: np.ndarray, return_info: bool = False):
+        """Full SVD ``A = U diag(s) Vt`` of a square matrix.
+
+        Returns an :class:`~repro.SVDResult` (plus ``SVDInfo`` with
+        ``return_info=True``).  Honors the handle's backend, precision,
+        hyperparameters, coefficients and ``check_finite``; the
+        ``stage3`` / ``fused`` / ``rescale`` axes do not apply to the
+        vector-bearing pipeline (it always uses the fused kernels and the
+        rotation-accumulating Golub-Kahan solver, with no rescaling).
+        """
+        return svd_full_resolved(A, self._config, return_info=return_info)
+
+    # internal single-shape paths (the legacy shims call these directly to
+    # preserve their historical shape contracts)
+    def _solve_square(self, A, return_info=False, workspace=None, cost_cache=None):
+        return svdvals_resolved(
+            A,
+            self._config,
+            return_info=return_info,
+            workspace=workspace,
+            cost_cache=cost_cache,
+        )
+
+    def _solve_rect(self, A, return_info=False):
+        return svdvals_rect_resolved(A, self._config, return_info=return_info)
+
+    def _solve_batched(self, As, return_info=False, workspace=None, cost_cache=None):
+        return svdvals_batched_resolved(
+            As,
+            self._config,
+            return_info=return_info,
+            workspace=workspace,
+            cost_cache=cost_cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    # prediction front door
+    # ------------------------------------------------------------------ #
+    def predict(
+        self,
+        n: int,
+        batch: Optional[int] = None,
+        ngpu: int = 1,
+        out_of_core: bool = False,
+        check_capacity: bool = True,
+        link_gbs: float = 100.0,
+    ) -> TimeBreakdown:
+        """Predict the simulated runtime of an ``n x n`` solve.
+
+        One front door for all four analytic models:
+
+        * default: the single-GPU closed-form schedule walk;
+        * ``batch=b``: ``b`` problems through the batched schedule;
+        * ``ngpu=g``: tile-row partitioned multi-GPU stage 1
+          (``link_gbs`` sets the interconnect bandwidth);
+        * ``out_of_core=True``: host-streamed execution beyond device
+          memory.
+
+        The modes are mutually exclusive.  ``check_capacity`` applies to
+        the default mode only (batched checks total batch footprint;
+        multi-GPU and out-of-core intentionally price beyond-capacity
+        sizes).  Requires a handle constructed with an explicit precision.
+        """
+        modes = (batch is not None) + (ngpu != 1) + bool(out_of_core)
+        if modes > 1:
+            raise InvalidParamsError(
+                "predict modes are mutually exclusive: pass at most one of "
+                "batch=, ngpu=, out_of_core=True"
+            )
+        self._config.require_precision("predict")
+        if batch is not None:
+            return predict_batched_resolved(n, batch, self._config)
+        if out_of_core:
+            return predict_out_of_core_resolved(n, self._config)
+        if ngpu != 1:
+            return predict_multi_gpu_resolved(
+                n, self._config, ngpu, link_gbs=link_gbs
+            )
+        return predict_resolved(n, self._config, check_capacity=check_capacity)
+
+    # ------------------------------------------------------------------ #
+    # plan/execute
+    # ------------------------------------------------------------------ #
+    def plan(self, shape: Union[int, Tuple[int, ...]]) -> "SvdPlan":
+        """Build a reusable :class:`SvdPlan` for one problem shape.
+
+        ``shape`` is ``n`` or ``(n, n)`` for square problems, ``(m, n)``
+        for rectangular ones, or ``(batch, n, n)`` for stacks.  Requires a
+        handle constructed with an explicit precision (the plan pins the
+        storage dtype of its workspace).
+        """
+        return SvdPlan(self._config, shape)
+
+
+class SvdPlan:
+    """Precomputed execution plan for repeated same-shape solves.
+
+    Construction resolves everything a solve of this shape needs beyond
+    the numerics: the padded problem size and tile grid, the capacity
+    check, a reusable padded workspace in storage precision, and the full
+    launch-price table of the static schedule.  :meth:`execute` then runs
+    only the numerics — results are bitwise identical to one-shot
+    :meth:`Solver.solve` calls.
+
+    A plan owns one workspace buffer, so a single plan instance must not
+    be executed concurrently from multiple threads.
+    """
+
+    def __init__(
+        self, config: SolveConfig, shape: Union[int, Tuple[int, ...]]
+    ) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape), int(shape))
+        shape = tuple(int(s) for s in shape)
+        if len(shape) not in (2, 3) or any(s < 1 for s in shape):
+            raise ShapeError(
+                f"plan expects (n, n), (m, n) or (batch, n, n) with "
+                f"positive sizes, got {shape}"
+            )
+        if len(shape) == 3 and shape[1] != shape[2]:
+            raise ShapeError(
+                f"batched plans require square matrices, got {shape}"
+            )
+
+        storage = config.require_precision("plan")
+        # pin the precision so execution cannot re-infer from input dtypes
+        self.config = config
+        self.shape = shape
+        self.storage = storage
+        self.compute = config.backend.compute_precision(storage)
+
+        ts = config.params.tilesize
+        if len(shape) == 3:
+            self.kind = "batched"
+            self.batch: Optional[int] = shape[0]
+            m = n = shape[1]
+        elif shape[0] == shape[1]:
+            self.kind = "square"
+            self.batch = None
+            m = n = shape[0]
+        else:
+            self.kind = "rect"
+            self.batch = None
+            # the tall-QR chain runs on the transpose when m < n
+            m, n = max(shape), min(shape)
+        self.m, self.n = m, n
+        #: Padded order of the square stage-1 problem (tiling metadata).
+        self.npad = ntiles(n, ts) * ts
+        #: Tile-grid side of the square stage-1 problem.
+        self.nbt = self.npad // ts
+
+        # capacity is checked once, exactly as the per-call drivers would
+        if self.kind == "rect":
+            config.backend.check_capacity(int(np.sqrt(m * n)) + 1, storage)
+            self.mpad = ntiles(m, ts) * ts
+            self._workspace = np.zeros(
+                (self.mpad, self.npad), dtype=storage.dtype
+            )
+            # the square solve of the R factor reuses its own buffer too
+            self._square_workspace: Optional[np.ndarray] = np.zeros(
+                (self.npad, self.npad), dtype=storage.dtype
+            )
+        else:
+            config.backend.check_capacity(n, storage)
+            self.mpad = self.npad
+            self._workspace = np.zeros(
+                (self.npad, self.npad), dtype=storage.dtype
+            )
+            self._square_workspace = None
+
+        #: Shared launch-price memo (see ``Session.cost_cache``).
+        self._cost_cache: dict = {}
+        self._prefill_cost_cache()
+
+    # ------------------------------------------------------------------ #
+    def _prefill_cost_cache(self) -> None:
+        """Price the static launch schedule ahead of the first execute.
+
+        Walks the same launch shapes the traced execution will request
+        (the schedule of a fixed shape is static) so that no cost-model
+        arithmetic remains on the solve path.  Keys mirror
+        ``Session.launch_*``.
+        """
+        cfg = self.config
+        spec = cfg.backend.device
+        params, storage, compute = cfg.params, self.storage, self.compute
+        ts = params.tilesize
+        cache = self._cost_cache
+
+        def panel(nbodies: int, body_tiles: int) -> None:
+            key = ("panel", nbodies, body_tiles)
+            if key not in cache:
+                cache[key] = panel_cost(
+                    spec, params, storage, compute, nbodies, body_tiles,
+                    cfg.coeffs,
+                )
+
+        def update(width: int, nrows: int, has_top: bool) -> None:
+            key = ("update", width, nrows, has_top)
+            if key not in cache:
+                cache[key] = update_cost(
+                    spec, params, storage, compute, width, nrows, has_top,
+                    cfg.coeffs,
+                )
+
+        panel(1, 1)  # GEQRT
+        for k in range(self.nbt - 1):
+            w = self.nbt - 1 - k
+            width = w * ts
+            update(width, 1, False)  # UNMQR (RQ and LQ sweeps)
+            if cfg.fused:
+                panel(w, 2)  # FTSQRT, RQ sweep
+                update(width, w, True)  # FTSMQR, RQ sweep
+                if w - 1 > 0:
+                    panel(w - 1, 2)  # FTSQRT, LQ sweep
+                    update(width, w - 1, True)  # FTSMQR, LQ sweep
+            else:
+                panel(1, 2)  # TSQRT
+                update(width, 1, True)  # TSMQR
+        cache[("brd", self.npad, ts)] = brd_cost(
+            spec, self.npad, ts, storage, compute, cfg.coeffs
+        )
+        cache[("solve", self.n)] = bidiag_solve_cost(
+            spec, self.n, storage, cfg.coeffs
+        )
+        if self.kind == "rect":
+            for _ in self._walk_rect_prep():
+                pass  # pricing each launch shape fills the cache
+
+    def _walk_rect_prep(self):
+        """Yield each tall-QR preprocessing launch as (kernel, stage, cost).
+
+        Mirrors the launch pattern of
+        :func:`repro.core.rectangular.qr_reduce_tall` over the padded
+        ``(mpad, npad)`` grid (the fused chain is always used there).
+        Prices go through the shared cache, so walking also prefills it.
+        """
+        cfg = self.config
+        spec = cfg.backend.device
+        params, storage, compute = cfg.params, self.storage, self.compute
+        ts = params.tilesize
+        cache = self._cost_cache
+        mt, nt = self.mpad // ts, self.npad // ts
+
+        def panel(nbodies, body_tiles):
+            key = ("panel", nbodies, body_tiles)
+            if key not in cache:
+                cache[key] = panel_cost(
+                    spec, params, storage, compute, nbodies, body_tiles,
+                    cfg.coeffs,
+                )
+            return cache[key]
+
+        def update(width, nrows, has_top):
+            key = ("update", width, nrows, has_top)
+            if key not in cache:
+                cache[key] = update_cost(
+                    spec, params, storage, compute, width, nrows, has_top,
+                    cfg.coeffs,
+                )
+            return cache[key]
+
+        for k in range(nt):
+            yield "geqrt", Stage.PANEL, panel(1, 1)
+            width = self.npad - (k + 1) * ts
+            if width > 0:
+                yield "unmqr", Stage.UPDATE, update(width, 1, False)
+            below = mt - (k + 1)
+            if below > 0:
+                yield "ftsqrt", Stage.PANEL, panel(below, 2)
+                if width > 0:
+                    yield "ftsmqr", Stage.UPDATE, update(width, below, True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def launch_prices(self) -> int:
+        """Number of pre-priced launch shapes in the plan's table."""
+        return len(self._cost_cache)
+
+    def breakdown(self) -> TimeBreakdown:
+        """Analytic runtime prediction for this plan's shape.
+
+        Rectangular plans include the tall-QR preprocessing on top of the
+        square ``min(m, n)`` solve (matching the merged ``return_info``
+        accounting of the rectangular driver).
+        """
+        if self.kind == "batched":
+            return predict_batched_resolved(self.n, self.batch, self.config)
+        bd = predict_resolved(self.n, self.config, check_capacity=False)
+        if self.kind == "rect":
+            overhead = self.config.backend.device.launch_overhead_s
+            for kernel, stage, cost in self._walk_rect_prep():
+                seconds = cost.seconds + overhead
+                if stage == Stage.PANEL:
+                    bd.panel_s += seconds
+                else:
+                    bd.update_s += seconds
+                bd.launches[kernel] = bd.launches.get(kernel, 0) + 1
+                bd.flops += cost.flops
+                bd.bytes += cost.bytes
+        return bd
+
+    def execute(
+        self, A: Union[np.ndarray, Sequence[np.ndarray]], return_info: bool = False
+    ):
+        """Run the planned solve on one input of the planned shape.
+
+        Square and rectangular plans expect exactly ``plan.shape`` (or its
+        transpose for rectangular inputs); batched plans accept any batch
+        count of ``(n, n)`` matrices.  Values are bitwise identical to the
+        corresponding one-shot :meth:`Solver.solve` call.
+        """
+        if self.kind == "batched":
+            return svdvals_batched_resolved(
+                A,
+                self.config,
+                return_info=return_info,
+                workspace=self._workspace,
+                cost_cache=self._cost_cache,
+            )
+        A = np.asarray(A)
+        if self.kind == "square":
+            if A.shape != self.shape:
+                raise ShapeError(
+                    f"plan was built for shape {self.shape}, got {A.shape}"
+                )
+            return svdvals_resolved(
+                A,
+                self.config,
+                return_info=return_info,
+                workspace=self._workspace,
+                cost_cache=self._cost_cache,
+            )
+        if A.shape not in ((self.m, self.n), (self.n, self.m)):
+            raise ShapeError(
+                f"plan was built for shape {self.shape}, got {A.shape}"
+            )
+        return svdvals_rect_resolved(
+            A,
+            self.config,
+            return_info=return_info,
+            workspace=self._workspace,
+            cost_cache=self._cost_cache,
+            square_workspace=self._square_workspace,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SvdPlan({self.kind}, shape={self.shape}, "
+            f"backend={self.config.backend.name!r}, "
+            f"precision={self.storage.name_lower!r}, npad={self.npad})"
+        )

@@ -1,0 +1,120 @@
+"""Public-API snapshot: future PRs cannot silently drop exports.
+
+The checked-in lists below are the supported public surface of the three
+user-facing namespaces.  A failure here means an export was added or
+removed: if intentional, update the snapshot *in the same PR* and mention
+the surface change in CHANGES.md.
+"""
+
+import repro
+import repro.core
+import repro.sim
+
+REPRO_ALL = [
+    "Backend",
+    "CapacityError",
+    "ConvergenceError",
+    "DeviceMatrix",
+    "DeviceSpec",
+    "InvalidParamsError",
+    "KernelParams",
+    "Precision",
+    "REFERENCE_PARAMS",
+    "ReproError",
+    "SVDInfo",
+    "SVDResult",
+    "ShapeError",
+    "SolveConfig",
+    "Solver",
+    "SvdPlan",
+    "UnsupportedBackendError",
+    "UnsupportedPrecisionError",
+    "__version__",
+    "jacobi_svdvals",
+    "list_backends",
+    "predict",
+    "predict_batched",
+    "predict_multi_gpu",
+    "predict_out_of_core",
+    "resolve_backend",
+    "resolve_precision",
+    "svd_full",
+    "svdvals",
+    "svdvals_batched",
+    "svdvals_rect",
+]
+
+CORE_ALL = [
+    "SVDInfo",
+    "SVDResult",
+    "band_to_bidiagonal",
+    "band_width",
+    "bisect",
+    "extract_band",
+    "getsmqrt",
+    "givens",
+    "golub_kahan",
+    "is_upper_band",
+    "jacobi_svdvals",
+    "ntiles",
+    "pad_to_tiles",
+    "predict_batched",
+    "qr_reduce_tall",
+    "reduce_to_band",
+    "singular_2x2",
+    "svd_full",
+    "svdvals",
+    "svdvals_batched",
+    "svdvals_bidiag",
+    "svdvals_rect",
+    "tile",
+]
+
+SIM_ALL = [
+    "CostCoefficients",
+    "DEFAULT_COEFFS",
+    "KernelParams",
+    "LaunchCost",
+    "LaunchRecord",
+    "OccupancyInfo",
+    "REFERENCE_PARAMS",
+    "Session",
+    "Stage",
+    "TimeBreakdown",
+    "Tracer",
+    "bidiag_solve_cost",
+    "brd_cost",
+    "dump_json",
+    "kernel_summary",
+    "panel_cost",
+    "param_grid",
+    "predict",
+    "predict_multi_gpu",
+    "predict_out_of_core",
+    "render_timeline",
+    "stage1_launch_count",
+    "timeline_rows",
+    "update_cost",
+    "update_occupancy",
+    "warp_utilization",
+]
+
+
+class TestApiSnapshot:
+    def test_repro_all(self):
+        assert sorted(repro.__all__) == REPRO_ALL
+
+    def test_core_all(self):
+        assert sorted(repro.core.__all__) == CORE_ALL
+
+    def test_sim_all(self):
+        assert sorted(repro.sim.__all__) == SIM_ALL
+
+    def test_no_dangling_exports(self):
+        for mod in (repro, repro.core, repro.sim):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+    def test_snapshots_sorted_and_unique(self):
+        for snap in (REPRO_ALL, CORE_ALL, SIM_ALL):
+            assert snap == sorted(set(snap))
