@@ -1,0 +1,103 @@
+"""Graph emission vs cached replay: schedule-construction overhead.
+
+Since the stage-graph refactor every solve replays a
+:class:`~repro.sim.LaunchGraph`; a one-shot call emits the graph first,
+while a reused :class:`~repro.SvdPlan` caches it alongside the workspace
+and launch-price table.  This bench quantifies the saving two ways:
+
+1. **emission microbenchmark**: ``emit_svd_graph`` cost across the
+   paper's size grid (emission is numerics-free, so large sizes time in
+   microseconds) vs the cached-graph "replay prologue" (nothing - the
+   plan hands the graph over);
+2. **end-to-end**: repeated one-shot ``Solver.solve`` of a small matrix
+   vs ``plan.execute`` on the same input, asserting bitwise identity and
+   that replay is no slower.
+
+The analytic side benefits identically: ``Solver.predict`` re-emits per
+call, ``plan.breakdown()`` reuses the cached graph.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import save_result
+from repro.core import emit_svd_graph
+from repro.report import format_table
+from repro.sim import AnalyticExecutor
+
+#: The paper's size grid (Figure 3/4 range that fits emission timing).
+SIZES = (256, 1024, 4096, 16384, 32768)
+N = 192
+REPS = 50
+
+
+def _time(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def test_cached_graph_replay(benchmark, solver):
+    cfg = solver.config
+    rows = []
+    for n in SIZES:
+        reps = max(3, min(REPS, 200000 // n))
+        emit_us = _time(lambda: emit_svd_graph(n, cfg), reps) * 1e6
+        graph = emit_svd_graph(n, cfg)
+        cache: dict = {}
+        AnalyticExecutor(cfg, solver.precision, cache=cache).run(graph)
+        price_us = (
+            _time(
+                lambda: AnalyticExecutor(
+                    cfg, solver.precision, cache=cache
+                ).run(graph),
+                reps,
+            )
+            * 1e6
+        )
+        rows.append(
+            [
+                str(n),
+                str(len(graph)),
+                f"{emit_us:9.1f} us",
+                f"{price_us:9.1f} us",
+                "cached (0 us)",
+            ]
+        )
+
+    # end-to-end: one-shot emits per call, the plan replays its cache
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((N, N)).astype(np.float32)
+    plan = solver.plan((N, N))
+    oneshot = solver.solve(A)
+    np.testing.assert_array_equal(plan.execute(A), oneshot)
+
+    t_oneshot = _time(lambda: solver.solve(A), 5)
+    t_replay = _time(lambda: plan.execute(A), 5)
+    assert t_replay <= t_oneshot * 1.05, (t_replay, t_oneshot)
+
+    rows.append(["", "", "", "", ""])
+    rows.append(
+        [
+            f"{N} solve",
+            str(len(plan.graph)),
+            f"{t_oneshot * 1e3:9.2f} ms",
+            f"{t_replay * 1e3:9.2f} ms",
+            f"{(t_oneshot - t_replay) / t_oneshot:+.1%} replay",
+        ]
+    )
+    save_result(
+        "graph_replay",
+        format_table(
+            ["n", "nodes", "emit / one-shot", "price / replay", "cached"],
+            rows,
+            title="LaunchGraph emission vs cached replay (h100 fp32)",
+        ),
+    )
+
+    benchmark(lambda: plan.execute(A))

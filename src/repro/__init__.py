@@ -21,9 +21,20 @@ solve, prediction, and plan:
 run the tall-QR preprocessing and ``(batch, n, n)`` stacks the batched
 driver — while :meth:`Solver.svd` returns full singular vectors and
 :meth:`Solver.predict` prices arbitrary sizes analytically (single-GPU,
-``batch=``, ``ngpu=``, or ``out_of_core=True``).  For repeated same-shape
-solves, :meth:`Solver.plan` returns a reusable :class:`SvdPlan` whose
-:meth:`~SvdPlan.execute` skips the per-call setup:
+``batch=``, ``ngpu=``, ``out_of_core=True``, or multi-stream lookahead
+overlap with ``streams=k``).  ``method="jacobi"`` runs the one-sided
+Jacobi cross-check through the same handle.
+
+Every driver is backed by one **stage-graph execution engine** (see
+``ARCHITECTURE.md``): the problem shape is emitted once as a declarative
+:class:`repro.sim.LaunchGraph` of kernel launches, which the
+:class:`repro.sim.NumericExecutor` replays in NumPy and the
+:class:`repro.sim.AnalyticExecutor` prices without touching data — so the
+numbers :meth:`Solver.predict` reports charge, by construction, exactly
+the launches a real solve performs.  For repeated same-shape solves,
+:meth:`Solver.plan` returns a reusable :class:`SvdPlan` that caches the
+emitted graph, the padded workspace and the launch-price table, so
+:meth:`~SvdPlan.execute` replays with zero schedule-construction cost:
 
 >>> plan = solver.plan((128, 128))
 >>> sv128 = plan.execute(A[:128, :128])
@@ -31,8 +42,9 @@ solves, :meth:`Solver.plan` returns a reusable :class:`SvdPlan` whose
 Pass ``return_info=True`` to any solve for the simulated per-stage timing
 report.  The historical free functions (:func:`svdvals`,
 :func:`svdvals_rect`, :func:`svdvals_batched`, :func:`svd_full`,
-:func:`predict`, ...) remain available as thin shims over a one-shot
-``Solver`` — no migration required, but new code should hold a handle.
+:func:`predict`, :func:`jacobi_svdvals`, ...) remain available as thin
+shims over a one-shot ``Solver`` — no migration required, but new code
+should hold a handle.
 """
 
 from .backends import Backend, DeviceMatrix, DeviceSpec, list_backends, resolve_backend
@@ -66,7 +78,7 @@ from .sim import (
 )
 from .solver import Solver, SvdPlan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # unified handle surface (the recommended API)

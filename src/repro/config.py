@@ -21,10 +21,14 @@ from .sim.costmodel import DEFAULT_COEFFS, CostCoefficients
 from .sim.params import KernelParams
 from .sim.session import Session
 
-__all__ = ["STAGE3_METHODS", "SolveConfig"]
+__all__ = ["METHODS", "STAGE3_METHODS", "SolveConfig"]
 
 #: Valid stage-3 bidiagonal solver names (see :func:`repro.core.svdvals_bidiag`).
 STAGE3_METHODS = ("auto", "gk", "bisect", "lapack")
+
+#: Valid solver algorithms: the two-stage QR pipeline (the paper's
+#: contribution) or the one-sided Jacobi cross-check.
+METHODS = ("qr", "jacobi")
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,9 @@ class SolveConfig:
     fused: bool = True
     check_finite: bool = True
     rescale: bool = True
+    method: str = "qr"
+    jacobi_tol: Optional[float] = None
+    jacobi_max_sweeps: int = 60
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -58,6 +65,9 @@ class SolveConfig:
         fused: bool = True,
         check_finite: bool = True,
         rescale: bool = True,
+        method: str = "qr",
+        jacobi_tol: Optional[float] = None,
+        jacobi_max_sweeps: int = 60,
     ) -> "SolveConfig":
         """Resolve and validate every axis of the configuration up front.
 
@@ -68,7 +78,7 @@ class SolveConfig:
         UnsupportedPrecisionError
             Precision not supported by the backend (paper Figure 5 gaps).
         InvalidParamsError
-            Invalid hyperparameters or unknown ``stage3`` method.
+            Invalid hyperparameters or unknown ``stage3`` / ``method``.
         """
         be = resolve_backend(backend)
         prec = be.check_precision(precision) if precision is not None else None
@@ -85,6 +95,14 @@ class SolveConfig:
                 f"unknown stage3 method {stage3!r}; expected one of "
                 f"{STAGE3_METHODS}"
             )
+        if method not in METHODS:
+            raise InvalidParamsError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if jacobi_max_sweeps < 1:
+            raise InvalidParamsError(
+                f"jacobi_max_sweeps must be positive, got {jacobi_max_sweeps}"
+            )
         return cls(
             backend=be,
             precision=prec,
@@ -94,6 +112,9 @@ class SolveConfig:
             fused=bool(fused),
             check_finite=bool(check_finite),
             rescale=bool(rescale),
+            method=method,
+            jacobi_tol=jacobi_tol,
+            jacobi_max_sweeps=int(jacobi_max_sweeps),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,18 +1,29 @@
-"""Two-stage QR singular value computation (the paper's core contribution)."""
+"""Two-stage QR singular value computation (the paper's core contribution).
 
-from .banddiag import getsmqrt, reduce_to_band
-from .batched import predict_batched, svdvals_batched
+Since the stage-graph refactor the drivers are *graph emitters*: each
+problem shape maps to one :class:`~repro.sim.graph.LaunchGraph`
+(``emit_svd_graph`` / ``emit_tallqr_graph`` / ``emit_batched_graph``) that
+the numeric and analytic executors both consume.
+"""
+
+from .banddiag import emit_band_reduction, getsmqrt, reduce_to_band
+from .batched import emit_batched_graph, predict_batched, svdvals_batched
 from .jacobi import jacobi_svdvals
-from .rectangular import qr_reduce_tall, svdvals_rect
+from .rectangular import emit_tallqr_graph, qr_reduce_tall, svdvals_rect
 from .vectors import SVDResult, svd_full
 from .bidiag import bisect, golub_kahan, singular_2x2, svdvals_bidiag
-from .brd import band_to_bidiagonal, givens
-from .svd import SVDInfo, svdvals
+from .brd import band_to_bidiagonal, emit_brd_chase, givens
+from .svd import SVDInfo, emit_svd_graph, svdvals
 from .tiling import band_width, extract_band, is_upper_band, ntiles, pad_to_tiles, tile
 
 __all__ = [
     "SVDInfo",
     "SVDResult",
+    "emit_band_reduction",
+    "emit_batched_graph",
+    "emit_brd_chase",
+    "emit_svd_graph",
+    "emit_tallqr_graph",
     "predict_batched",
     "svdvals_batched",
     "jacobi_svdvals",

@@ -22,15 +22,148 @@ Below-band storage holds the reflector tails and is ignored downstream.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..kernels import ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr
+from ..sim.graph import LaunchNode, NumericExecutor
 from ..sim.session import Session
+from ..sim.tracing import Stage
 from .tiling import ntiles, tile
 
-__all__ = ["getsmqrt", "reduce_to_band"]
+__all__ = ["emit_band_reduction", "getsmqrt", "reduce_to_band"]
+
+
+def _chunk_width(width: int, ts: int, streams: int) -> List[Tuple[int, int]]:
+    """Column chunks ``(offset, width)`` of one trailing-update launch.
+
+    Single-stream graphs keep the historical monolithic launch.  With
+    ``streams > 1`` the launch models lookahead execution: a head chunk
+    of one tile column is split off - the stand-in for the prioritized
+    tile-level work that produces the next panel chain's operands - and
+    the remainder is divided across the extra streams.
+    """
+    if streams <= 1 or width <= ts:
+        return [(0, width)]
+    rem_tiles = (width - ts) // ts
+    parts = max(1, min(streams - 1, rem_tiles))
+    chunks = [(0, ts)]
+    base, extra = divmod(rem_tiles, parts)
+    off = ts
+    for i in range(parts):
+        w = (base + (1 if i < extra else 0)) * ts
+        if w == 0:
+            continue
+        chunks.append((off, w))
+        off += w
+    return chunks
+
+
+def emit_band_reduction(
+    nbt: int, ts: int, fused: bool = True, streams: int = 1,
+    counted: bool = False,
+) -> List[LaunchNode]:
+    """Emit the stage-1 launch nodes for an ``nbt x nbt`` tile grid.
+
+    This is the declarative form of :func:`reduce_to_band` (Algorithm 2):
+    alternating RQ/LQ sweeps of GEQRT + UNMQR + (F)TSQRT/(F)TSMQR plus the
+    final diagonal GEQRT, in the exact order the numeric loop runs them.
+    Dependencies encode, per sweep, panel -> update ordering and the
+    previous sweep's updates feeding the next pivot; with ``streams > 1``
+    updates are split into head/remainder chunks (see :mod:`repro.sim.graph`)
+    so only the head chunk gates the next panel chain.
+
+    ``counted=True`` folds each unfused TSQRT/TSMQR run into one node with
+    ``count=r`` (the launch set and charged time are unchanged) so the
+    analytic predictor stays O(tiles) on the quadratic unfused schedule;
+    counted graphs are not replayable numerically.
+    """
+    nodes: List[LaunchNode] = []
+
+    def add(kind, stage, key, meta, deps, count=1) -> int:
+        nodes.append(LaunchNode(kind, stage, key, meta, tuple(deps),
+                                count=count))
+        return len(nodes) - 1
+
+    prev_heads: List[int] = []  # prior-sweep updates feeding the next panel
+    prev_rems: List[int] = []  # prior-sweep remainder chunks (lookahead)
+    for k in range(nbt - 1):
+        for lq in (False, True):
+            row0 = k + 1 if lq else k
+            below = (row0 + 1, nbt)  # tile-row range (start, stop)
+            r = nbt - row0 - 1
+            width = (nbt - 1 - k) * ts
+            sweep = 2 * k + (1 if lq else 0)
+            chunks = _chunk_width(width, ts, streams)
+
+            g = add(
+                "geqrt", Stage.PANEL, ("panel", 1, 1),
+                (lq, row0, k, sweep), prev_heads,
+            )
+            u_ids = [
+                add(
+                    "unmqr", Stage.UPDATE, ("update", cw, 1, False),
+                    (lq, row0, k, k + 1, off, cw, sweep),
+                    [g] + prev_rems,
+                )
+                for off, cw in chunks
+            ]
+            if r > 0:
+                if fused:
+                    fq = add(
+                        "ftsqrt", Stage.PANEL, ("panel", r, 2),
+                        (lq, row0, k, below, sweep), [g],
+                    )
+                    fm_ids = [
+                        add(
+                            "ftsmqr", Stage.UPDATE, ("update", cw, r, True),
+                            (lq, row0, k, below, k + 1, off, cw, sweep),
+                            [fq, u_ids[ci]],
+                        )
+                        for ci, (off, cw) in enumerate(chunks)
+                    ]
+                    heads, rems = [fm_ids[0]], fm_ids[1:] + u_ids[1:]
+                elif counted and streams == 1:
+                    tq = add(
+                        "tsqrt", Stage.PANEL, ("panel", 1, 2), (), [g],
+                        count=r,
+                    )
+                    tm = add(
+                        "tsmqr", Stage.UPDATE, ("update", width, 1, True),
+                        (), [tq, u_ids[0]], count=r,
+                    )
+                    heads, rems = [tm], []
+                else:
+                    prev_tq = g
+                    prev_tm = list(u_ids)  # per-chunk Y-serialization pred
+                    for l in range(*below):
+                        tq = add(
+                            "tsqrt", Stage.PANEL, ("panel", 1, 2),
+                            (lq, row0, k, l, sweep), [prev_tq],
+                        )
+                        prev_tm = [
+                            add(
+                                "tsmqr", Stage.UPDATE,
+                                ("update", cw, 1, True),
+                                (lq, row0, k, l, k + 1, off, cw, sweep),
+                                [tq, prev_tm[ci]],
+                            )
+                            for ci, (off, cw) in enumerate(chunks)
+                        ]
+                        prev_tq = tq
+                    heads, rems = [prev_tm[0]], prev_tm[1:]
+            else:
+                heads, rems = [u_ids[0]], u_ids[1:]
+            prev_heads, prev_rems = heads, rems
+
+    # final diagonal tile: GEQRT only (Algorithm 2 line 6)
+    add(
+        "geqrt", Stage.PANEL, ("panel", 1, 1),
+        (False, nbt - 1, nbt - 1, 2 * (nbt - 1)),
+        prev_heads + prev_rems,
+    )
+    return nodes
 
 
 def getsmqrt(
@@ -139,20 +272,14 @@ def reduce_to_band(
     This is the paper's ``banddiag!`` (Algorithm 2): alternate RQ and LQ
     sweeps over the diagonal tiles, the LQ sweep running the same code on
     the lazy transpose, then a final GEQRT on the last diagonal tile.
+    The sweep structure is emitted once by :func:`emit_band_reduction`
+    and replayed by the :class:`~repro.sim.graph.NumericExecutor`.
     """
     npad = A.shape[0]
     if npad % ts != 0:
         raise ValueError(f"matrix order {npad} is not a multiple of TILESIZE {ts}")
     nbt = npad // ts
-
-    for k in range(nbt - 1):
-        getsmqrt(A, k, ts, eps, session, lq=False, fused=fused,
-                 compute_dtype=compute_dtype)
-        getsmqrt(A.T, k, ts, eps, session, lq=True, fused=fused,
-                 compute_dtype=compute_dtype)
-
-    # final diagonal tile: GEQRT only (Algorithm 2 line 6)
-    tau = np.zeros(ts, dtype=compute_dtype or A.dtype)
-    geqrt(tile(A, nbt - 1, nbt - 1, ts), tau, eps, compute_dtype)
-    if session is not None:
-        session.launch_panel("geqrt", nbodies=1, body_tiles=1)
+    nodes = emit_band_reduction(nbt, ts, fused=fused)
+    NumericExecutor(
+        A, ts, eps, session=session, compute_dtype=compute_dtype
+    ).run(nodes)

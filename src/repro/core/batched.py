@@ -19,7 +19,6 @@ the numerics and charges the batched schedule.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -28,22 +27,58 @@ from ..backends.backend import BackendLike
 from ..config import SolveConfig
 from ..errors import CapacityError, ShapeError
 from ..precision import PrecisionLike
-from ..sim.costmodel import (
-    DEFAULT_COEFFS,
-    CostCoefficients,
-    bidiag_solve_cost,
-    brd_cost,
-    brd_launch_count,
-    panel_cost,
-    update_cost,
-)
+from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients, brd_launch_count
+from ..sim.graph import AnalyticExecutor, LaunchGraph, LaunchNode
 from ..sim.params import KernelParams
 from ..sim.schedule import TimeBreakdown
 from ..sim.tracing import Stage
-from .svd import svdvals_resolved
+from .svd import emit_svd_graph, svdvals_resolved
 from .tiling import ntiles
 
-__all__ = ["predict_batched", "svdvals_batched"]
+__all__ = ["emit_batched_graph", "predict_batched", "svdvals_batched"]
+
+
+def emit_batched_graph(n: int, batch: int, config: SolveConfig) -> LaunchGraph:
+    """Emit the batched launch graph: one grid covers all problems per step.
+
+    Batched panel launches (``panel_b`` cost family) run ``batch``
+    independent single-chain bodies concurrently across SMs; batched
+    update launches process ``batch x width`` columns in one grid; the
+    stage-2 chase and CPU solve scale their work ``batch``-fold while
+    sharing launch overheads (``brd_b`` / ``solve_b`` families).  The
+    batch executes launch-by-launch, so dependencies form a serial chain.
+    """
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    nodes: List[LaunchNode] = []
+
+    def add(kind, stage, key, primary=True) -> None:
+        deps = (len(nodes) - 1,) if nodes else ()
+        nodes.append(LaunchNode(kind, stage, key, deps=deps, primary=primary))
+
+    for k in range(nbt - 1):
+        w = nbt - 1 - k
+        width = w * ts * batch  # all problems' trailing columns in one grid
+        for r in (w, w - 1):  # RQ sweep, then LQ sweep
+            add("geqrt_b", Stage.PANEL, ("panel_b", batch, 1, 1))
+            add("unmqr_b", Stage.UPDATE, ("update", width, 1, False))
+            if r > 0:
+                add("ftsqrt_b", Stage.PANEL, ("panel_b", batch, r, 2))
+                add("ftsmqr_b", Stage.UPDATE, ("update", width, r, True))
+    add("geqrt_b", Stage.PANEL, ("panel_b", batch, 1, 1))
+
+    nbrd = brd_launch_count(npad, ts, config.coeffs)
+    for i in range(nbrd):
+        add(
+            "brd_chase_b", Stage.BRD, ("brd_b", batch, npad, ts),
+            primary=(i == 0),
+        )
+    add("bdsqr_cpu_b", Stage.SOLVE, ("solve_b", batch, n))
+    return LaunchGraph(
+        nodes=nodes, kind="batched", n=n, npad=npad, ts=ts, nbt=nbt,
+        fused=True, batch=batch,
+    )
 
 
 def predict_batched_resolved(
@@ -52,13 +87,11 @@ def predict_batched_resolved(
     """Batched-prediction implementation against a resolved config.
 
     The single shared code path behind :meth:`repro.Solver.predict` with
-    ``batch=`` and the legacy :func:`predict_batched` shim.
+    ``batch=`` and the legacy :func:`predict_batched` shim: emit the
+    batched launch graph and price it analytically.
     """
     be = config.backend
     storage = config.require_precision("batched prediction")
-    compute = be.compute_precision(storage)
-    params = config.params
-    coeffs = config.coeffs
     if n < 1 or batch < 1:
         raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
     spec = be.device
@@ -68,82 +101,8 @@ def predict_batched_resolved(
             f"batch of {batch} {n}x{n} {storage.name} matrices exceeds "
             f"{spec.mem_gb} GiB device memory"
         )
-
-    ts = params.tilesize
-    nbt = max(1, math.ceil(n / ts))
-    npad = nbt * ts
-    overhead = spec.launch_overhead_s
-    bd = TimeBreakdown(n=n)
-    launches = {}
-
-    def add(kind: str, stage: str, cost, count: int = 1) -> None:
-        launches[kind] = launches.get(kind, 0) + count
-        seconds = count * (cost.seconds + overhead)
-        if stage == Stage.PANEL:
-            bd.panel_s += seconds
-        elif stage == Stage.UPDATE:
-            bd.update_s += seconds
-        elif stage == Stage.BRD:
-            bd.brd_s += seconds
-        else:
-            bd.solve_s += seconds
-        bd.flops += count * cost.flops
-        bd.bytes += count * cost.bytes
-
-    # batched panel: `batch` independent single-block bodies per launch run
-    # concurrently on different SMs; the serial chain length is ONE body,
-    # but the launch must fit the device (ceil(batch / SMs) rounds)
-    def batched_panel(nbodies: int, body_tiles: int):
-        one = panel_cost(spec, params, storage, compute, nbodies, body_tiles,
-                         coeffs)
-        rounds = max(1, math.ceil(batch / spec.sm_count))
-        return type(one)(
-            seconds=one.seconds * rounds,
-            flops=one.flops * batch,
-            bytes=one.bytes * batch,
-            compute_seconds=one.compute_seconds * rounds,
-            memory_seconds=one.memory_seconds * batch,
-        )
-
-    for k in range(nbt - 1):
-        w = nbt - 1 - k
-        width = w * ts * batch  # all problems' trailing columns in one grid
-        r = w
-        r2 = w - 1
-        add("geqrt_b", Stage.PANEL, batched_panel(1, 1))
-        add("unmqr_b", Stage.UPDATE,
-            update_cost(spec, params, storage, compute, width, 1, False, coeffs))
-        if r > 0:
-            add("ftsqrt_b", Stage.PANEL, batched_panel(r, 2))
-            add("ftsmqr_b", Stage.UPDATE,
-                update_cost(spec, params, storage, compute, width, r, True, coeffs))
-        add("geqrt_b", Stage.PANEL, batched_panel(1, 1))
-        add("unmqr_b", Stage.UPDATE,
-            update_cost(spec, params, storage, compute, width, 1, False, coeffs))
-        if r2 > 0:
-            add("ftsqrt_b", Stage.PANEL, batched_panel(r2, 2))
-            add("ftsmqr_b", Stage.UPDATE,
-                update_cost(spec, params, storage, compute, width, r2, True, coeffs))
-    add("geqrt_b", Stage.PANEL, batched_panel(1, 1))
-
-    brd = brd_cost(spec, npad, ts, storage, compute, coeffs)
-    nbrd = brd_launch_count(npad, ts, coeffs)
-    if nbrd:
-        launches["brd_chase_b"] = nbrd
-        # flops/bytes scale with the batch; the serial chase latency does
-        # not (independent problems chase concurrently)
-        bd.brd_s += max(
-            brd.compute_seconds * batch, brd.memory_seconds * batch,
-            brd.seconds,
-        ) + nbrd * overhead
-        bd.flops += brd.flops * batch
-        bd.bytes += brd.bytes * batch
-    solve = bidiag_solve_cost(spec, n, storage, coeffs)
-    launches["bdsqr_cpu_b"] = 1
-    bd.solve_s += solve.compute_seconds * batch + coeffs.cpu_call_overhead_s
-    bd.flops += solve.flops * batch
-    bd.launches = launches
-    return bd
+    graph = emit_batched_graph(n, batch, config)
+    return AnalyticExecutor(config, storage).run(graph)
 
 
 def predict_batched(
@@ -177,13 +136,15 @@ def svdvals_batched_resolved(
     return_info: bool = False,
     workspace: Optional[np.ndarray] = None,
     cost_cache: Optional[dict] = None,
+    graph: Optional[LaunchGraph] = None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, TimeBreakdown]]:
     """Batched-driver implementation against a resolved config.
 
     The single shared code path behind :meth:`repro.Solver.solve` for 3-D
-    inputs and the legacy :func:`svdvals_batched` shim.  ``workspace`` and
-    ``cost_cache`` come from a reused :class:`repro.SvdPlan`; when absent,
-    one padded buffer and one launch-price memo are still allocated *once
+    inputs and the legacy :func:`svdvals_batched` shim.  ``workspace``,
+    ``cost_cache`` and ``graph`` (the per-matrix square launch graph) come
+    from a reused :class:`repro.SvdPlan`; when absent, one padded buffer,
+    one launch-price memo and one emitted graph are still allocated *once
     per batch* so every matrix after the first skips that setup.
     """
     if isinstance(As, np.ndarray):
@@ -214,11 +175,14 @@ def svdvals_batched_resolved(
         ts = batch_config.params.tilesize
         npad = ntiles(n, ts) * ts
         workspace = np.zeros((npad, npad), dtype=storage.dtype)
+    if graph is None:
+        graph = emit_svd_graph(n, batch_config)
 
     out = np.empty((len(mats), n), dtype=np.float64)
     for i, a in enumerate(mats):
         out[i] = svdvals_resolved(
-            a, batch_config, workspace=workspace, cost_cache=cost_cache
+            a, batch_config, workspace=workspace, cost_cache=cost_cache,
+            graph=graph,
         )
     if not return_info:
         return out

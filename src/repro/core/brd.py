@@ -17,14 +17,45 @@ SciPy on random band matrices.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ShapeError
+from ..sim.costmodel import brd_launch_count
+from ..sim.graph import LaunchNode
 from ..sim.session import Session
+from ..sim.tracing import Stage
 
-__all__ = ["band_to_bidiagonal", "givens"]
+__all__ = ["band_to_bidiagonal", "emit_brd_chase", "givens"]
+
+
+def emit_brd_chase(
+    n: int, band: int, coeffs, deps: Tuple[int, ...] = (), start: int = 0
+) -> List[LaunchNode]:
+    """Emit the stage-2 bulge-chasing launch nodes for an ``n x n`` band.
+
+    The chase issues :func:`~repro.sim.costmodel.brd_launch_count` fused
+    kernel launches; the aggregate stage cost rides on the first (primary)
+    node and the remaining launches charge only their overhead, exactly
+    like :meth:`repro.sim.session.Session.launch_brd` records them.
+    ``deps`` anchors the first launch on the tail of stage 1, ``start`` is
+    the global index these nodes begin at (the chase is a serial chain, so
+    launch ``i`` depends on launch ``i - 1``).
+    """
+    nbrd = brd_launch_count(n, band, coeffs)
+    nodes: List[LaunchNode] = []
+    for i in range(nbrd):
+        nodes.append(
+            LaunchNode(
+                "brd_chase",
+                Stage.BRD,
+                ("brd", n, band),
+                deps=tuple(deps) if i == 0 else (start + i - 1,),
+                primary=(i == 0),
+            )
+        )
+    return nodes
 
 
 def givens(f: float, g: float) -> Tuple[float, float, float]:

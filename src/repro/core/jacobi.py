@@ -29,12 +29,27 @@ from ..errors import ConvergenceError, ShapeError
 __all__ = ["jacobi_svdvals"]
 
 
+def jacobi_svdvals_resolved(A: np.ndarray, config) -> np.ndarray:
+    """Jacobi-driver implementation against a resolved config.
+
+    The code path behind :meth:`repro.Solver.solve` when the handle was
+    constructed with ``method="jacobi"``; the algorithm has no
+    backend/precision axes, so only ``jacobi_tol`` and
+    ``jacobi_max_sweeps`` apply.
+    """
+    return _jacobi_svdvals_impl(
+        A, tol=config.jacobi_tol, max_sweeps=config.jacobi_max_sweeps
+    )
+
+
 def jacobi_svdvals(
     A: np.ndarray,
     tol: Optional[float] = None,
     max_sweeps: int = 60,
 ) -> np.ndarray:
     """Singular values of a real matrix by one-sided Jacobi iteration.
+
+    Thin shim over :class:`repro.Solver` with ``method="jacobi"``.
 
     Parameters
     ----------
@@ -51,6 +66,18 @@ def jacobi_svdvals(
     -------
     ``min(m, n)`` singular values in descending order (float64).
     """
+    from ..solver import Solver
+
+    solver = Solver(method="jacobi", jacobi_tol=tol, jacobi_max_sweeps=max_sweeps)
+    return solver.solve(A)
+
+
+def _jacobi_svdvals_impl(
+    A: np.ndarray,
+    tol: Optional[float] = None,
+    max_sweeps: int = 60,
+) -> np.ndarray:
+    """The one-sided Jacobi iteration itself (no configuration axes)."""
     A = np.asarray(A, dtype=np.float64)
     if A.ndim != 2:
         raise ShapeError(f"expected a 2-D matrix, got shape {A.shape}")

@@ -20,7 +20,7 @@ algorithm: the panel chain costs ``O(m n^2)`` and the square solve
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,13 +29,76 @@ from ..config import SolveConfig
 from ..errors import ShapeError
 from ..precision import PrecisionLike
 from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from ..sim.graph import LaunchGraph, LaunchNode, NumericExecutor
 from ..sim.params import KernelParams
 from ..sim.session import Session
-from ..kernels import ftsmqr, ftsqrt, geqrt, unmqr
+from ..sim.tracing import Stage
 from .svd import SVDInfo, svdvals_resolved
-from .tiling import ntiles, tile
+from .tiling import ntiles
 
-__all__ = ["qr_reduce_tall", "svdvals_rect"]
+__all__ = ["emit_tallqr_graph", "qr_reduce_tall", "svdvals_rect"]
+
+
+def _emit_tallqr_nodes(mt: int, nt: int, ts: int) -> List[LaunchNode]:
+    """Launch nodes of the tall-QR chain over an ``mt x nt`` tile grid."""
+    npad = nt * ts
+    nodes: List[LaunchNode] = []
+
+    def add(kind, stage, key, meta, deps) -> int:
+        nodes.append(LaunchNode(kind, stage, key, meta, tuple(deps)))
+        return len(nodes) - 1
+
+    prev_updates: List[int] = []
+    for k in range(nt):
+        g = add(
+            "geqrt", Stage.PANEL, ("panel", 1, 1), (False, k, k, k),
+            prev_updates,
+        )
+        width = npad - (k + 1) * ts
+        updates: List[int] = []
+        if width > 0:
+            updates.append(
+                add(
+                    "unmqr", Stage.UPDATE, ("update", width, 1, False),
+                    (False, k, k, k + 1, 0, width, k), [g],
+                )
+            )
+        below = (k + 1, mt)  # tile-row range (start, stop)
+        r = mt - k - 1
+        if r > 0:
+            fq = add(
+                "ftsqrt", Stage.PANEL, ("panel", r, 2),
+                (False, k, k, below, k), [g],
+            )
+            if width > 0:
+                updates.append(
+                    add(
+                        "ftsmqr", Stage.UPDATE,
+                        ("update", width, r, True),
+                        (False, k, k, below, k + 1, 0, width, k),
+                        [fq, updates[0]],
+                    )
+                )
+            else:
+                updates.append(fq)
+        prev_updates = updates or [g]
+    return nodes
+
+
+def emit_tallqr_graph(m: int, n: int, config: SolveConfig) -> LaunchGraph:
+    """Emit the tall-QR preprocessing graph for an ``m x n`` panel chain.
+
+    One node per launch of :func:`qr_reduce_tall` over the padded
+    ``(mpad, npad)`` tile grid: per block column, GEQRT + UNMQR + one
+    fused TSQRT/TSMQR pass down the remaining tile rows (the chain always
+    uses the fused kernels).
+    """
+    ts = config.params.tilesize
+    mt, nt = ntiles(m, ts), ntiles(n, ts)
+    return LaunchGraph(
+        nodes=_emit_tallqr_nodes(mt, nt, ts), kind="tallqr", n=n,
+        npad=nt * ts, ts=ts, nbt=nt, mpad=mt * ts,
+    )
 
 
 def qr_reduce_tall(
@@ -44,13 +107,16 @@ def qr_reduce_tall(
     eps: float,
     session: Optional[Session] = None,
     compute_dtype=None,
+    graph: Optional[LaunchGraph] = None,
 ) -> np.ndarray:
     """Reduce a tall ``m x n`` matrix (``m >= n``) to its ``n x n`` R factor.
 
     Tiled blocked QR: for each block column ``k``, GEQRT the diagonal tile,
     UNMQR the tile row, then one fused TSQRT/TSMQR pass down the remaining
     tile rows - the stage-1 RQ sweep generalized to a rectangular grid.
-    ``A`` must be padded to tile multiples in both dimensions.
+    ``A`` must be padded to tile multiples in both dimensions; the launch
+    sequence comes from :func:`emit_tallqr_graph` (or a plan-cached
+    ``graph``).
 
     Returns the upper-triangular ``n x n`` R factor (a copy; the reflector
     tails stored below the diagonal in ``A`` are stripped).
@@ -60,33 +126,21 @@ def qr_reduce_tall(
         raise ShapeError(f"padded shape required, got {A.shape} for ts={ts}")
     if m < n:
         raise ShapeError("qr_reduce_tall expects m >= n")
-    mt, nt = m // ts, n // ts
-
-    for k in range(nt):
-        diag = tile(A, k, k, ts)
-        tau0 = np.zeros(ts, dtype=compute_dtype or A.dtype)
-        geqrt(diag, tau0, eps, compute_dtype)
-        if session is not None:
-            session.launch_panel("geqrt", 1, 1)
-        c0 = (k + 1) * ts
-        width = n - c0
-        if width > 0:
-            unmqr(diag, tau0, A[k * ts : (k + 1) * ts, c0:], compute_dtype)
-            if session is not None:
-                session.launch_update("unmqr", width, 1, False)
-        below = list(range(k + 1, mt))
-        if below:
-            taus = [np.zeros(ts, dtype=compute_dtype or A.dtype) for _ in below]
-            Bs = [tile(A, l, k, ts) for l in below]
-            ftsqrt(diag, Bs, taus, eps, compute_dtype)
-            if session is not None:
-                session.launch_panel("ftsqrt", len(below), 2)
-            if width > 0:
-                Y = A[k * ts : (k + 1) * ts, c0:]
-                Xs = [A[l * ts : (l + 1) * ts, c0:] for l in below]
-                ftsmqr(Bs, taus, Y, Xs, compute_dtype)
-                if session is not None:
-                    session.launch_update("ftsmqr", width, len(below), True)
+    if graph is None:
+        nodes = _emit_tallqr_nodes(m // ts, n // ts, ts)
+    else:
+        if graph.kind != "tallqr" or graph.mpad != m or graph.npad != n or (
+            graph.ts != ts
+        ):
+            raise ShapeError(
+                f"tall-QR graph ({graph.kind}, mpad={graph.mpad}, "
+                f"npad={graph.npad}, ts={graph.ts}) does not match the "
+                f"requested chain ({m}, {n}) with ts={ts}"
+            )
+        nodes = graph.nodes
+    NumericExecutor(
+        A, ts, eps, session=session, compute_dtype=compute_dtype
+    ).run(nodes)
     return np.triu(A[:n, :n])
 
 
@@ -97,14 +151,17 @@ def svdvals_rect_resolved(
     workspace: Optional[np.ndarray] = None,
     cost_cache: Optional[dict] = None,
     square_workspace: Optional[np.ndarray] = None,
+    prep_graph: Optional[LaunchGraph] = None,
+    square_graph: Optional[LaunchGraph] = None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
     """Rectangular-driver implementation against a resolved config.
 
     The single shared code path behind :meth:`repro.Solver.solve` for 2-D
     non-square inputs and the legacy :func:`svdvals_rect` shim.
     ``workspace`` (a zeroable ``(mpad, npad)`` buffer), ``square_workspace``
-    (the ``(npad, npad)`` buffer for the R-factor solve) and ``cost_cache``
-    come from a reused :class:`repro.SvdPlan`.
+    (the ``(npad, npad)`` buffer for the R-factor solve), ``cost_cache``
+    and the two pre-emitted launch graphs come from a reused
+    :class:`repro.SvdPlan`.
     """
     A = np.asarray(A)
     if A.ndim != 2:
@@ -113,13 +170,16 @@ def svdvals_rect_resolved(
         raise ShapeError("empty matrix")
     m, n = A.shape
     if m == n:
-        return svdvals_resolved(A, config, return_info=return_info)
+        return svdvals_resolved(
+            A, config, return_info=return_info, graph=square_graph
+        )
     if m < n:
         # singular values are transpose-invariant: zero-copy view
         return svdvals_rect_resolved(
             A.T, config, return_info=return_info,
             workspace=workspace, cost_cache=cost_cache,
             square_workspace=square_workspace,
+            prep_graph=prep_graph, square_graph=square_graph,
         )
 
     be = config.backend
@@ -144,7 +204,9 @@ def svdvals_rect_resolved(
     compute_dtype = (
         session.compute.dtype if session.compute is not session.storage else None
     )
-    R = qr_reduce_tall(W, ts, storage.eps, session, compute_dtype)
+    R = qr_reduce_tall(
+        W, ts, storage.eps, session, compute_dtype, graph=prep_graph
+    )
 
     # pin the inferred precision so the square solve of R cannot re-infer
     square_config = (
@@ -154,6 +216,7 @@ def svdvals_rect_resolved(
     out = svdvals_resolved(
         R[:n, :n], square_config, return_info=return_info,
         workspace=square_workspace, cost_cache=cost_cache,
+        graph=square_graph,
     )
     if not return_info:
         return out[:n] if out.shape[0] > n else out

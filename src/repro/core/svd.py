@@ -29,14 +29,14 @@ from ..config import SolveConfig
 from ..errors import ShapeError
 from ..precision import Precision, PrecisionLike
 from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from ..sim.graph import LaunchGraph, LaunchNode, NumericExecutor
 from ..sim.params import KernelParams
 from ..sim.tracing import Stage
-from .banddiag import reduce_to_band
-from .bidiag import svdvals_bidiag
-from .brd import band_to_bidiagonal
-from .tiling import extract_band, ntiles, pad_to_tiles
+from .banddiag import emit_band_reduction
+from .brd import emit_brd_chase
+from .tiling import ntiles, pad_to_tiles
 
-__all__ = ["SVDInfo", "svdvals"]
+__all__ = ["SVDInfo", "emit_svd_graph", "svdvals"]
 
 
 @dataclass
@@ -94,19 +94,62 @@ def _rescale_factor(A: np.ndarray, storage: Precision) -> float:
     return 1.0
 
 
+def emit_svd_graph(
+    n: int, config: SolveConfig, streams: int = 1, counted: bool = False
+) -> LaunchGraph:
+    """Emit the full three-stage launch graph for an ``n x n`` solve.
+
+    The one declarative encoding of the solver's schedule: stage-1 sweeps
+    from :func:`~repro.core.banddiag.emit_band_reduction`, the stage-2
+    chase from :func:`~repro.core.brd.emit_brd_chase`, and the stage-3 CPU
+    solve.  The same graph is replayed numerically by
+    :class:`~repro.sim.graph.NumericExecutor` and priced by
+    :class:`~repro.sim.graph.AnalyticExecutor`; ``streams > 1`` emits the
+    lookahead (analytic-only) variant whose update launches are split for
+    multi-stream overlap, and ``counted=True`` folds the unfused
+    TSQRT/TSMQR runs into counted nodes (analytic-only, O(tiles) nodes
+    for the quadratic unfused launch schedule).
+    """
+    if n < 1:
+        raise ShapeError(f"matrix order must be positive, got {n}")
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    nodes = emit_band_reduction(
+        nbt, ts, fused=config.fused, streams=streams, counted=counted
+    )
+    tail = len(nodes) - 1
+    brd_nodes = emit_brd_chase(
+        npad, ts, config.coeffs, deps=(tail,), start=len(nodes)
+    )
+    nodes.extend(brd_nodes)
+    nodes.append(
+        LaunchNode(
+            "bdsqr_cpu", Stage.SOLVE, ("solve", n),
+            deps=(len(nodes) - 1,),
+        )
+    )
+    return LaunchGraph(
+        nodes=nodes, kind="square", n=n, npad=npad, ts=ts, nbt=nbt,
+        fused=config.fused, streams=streams, counted=counted,
+    )
+
+
 def svdvals_resolved(
     A: np.ndarray,
     config: SolveConfig,
     return_info: bool = False,
     workspace: Optional[np.ndarray] = None,
     cost_cache: Optional[dict] = None,
+    graph: Optional[LaunchGraph] = None,
 ) -> Union[np.ndarray, Tuple[np.ndarray, SVDInfo]]:
     """Square-driver implementation against a resolved :class:`SolveConfig`.
 
     This is the single shared code path behind :meth:`repro.Solver.solve`
     and the legacy :func:`svdvals` shim.  ``workspace`` (a zeroable padded
-    buffer in storage precision) and ``cost_cache`` (a launch-price memo)
-    are supplied by a reused :class:`repro.SvdPlan` to skip the per-call
+    buffer in storage precision), ``cost_cache`` (a launch-price memo) and
+    ``graph`` (the pre-emitted :class:`~repro.sim.graph.LaunchGraph`) are
+    supplied by a reused :class:`repro.SvdPlan` to skip the per-call
     setup; results are bitwise identical either way.
     """
     A = np.asarray(A)
@@ -153,28 +196,29 @@ def svdvals_resolved(
     compute_dtype = (
         session.compute.dtype if session.compute is not storage else None
     )
-    eps = storage.eps
 
-    # ---- stage 1: dense -> band ----------------------------------------- #
-    reduce_to_band(
-        W, ts, eps, session, fused=config.fused, compute_dtype=compute_dtype
+    # replay the launch graph: stage 1 (dense -> band), stage 2 (band ->
+    # bidiagonal chase) and stage 3 (CPU solve) all live in one IR
+    if graph is None:
+        graph = emit_svd_graph(n, config)
+    elif (
+        graph.kind != "square" or graph.streams != 1 or graph.counted
+        or graph.n != n or graph.ts != ts or graph.fused != config.fused
+    ):
+        raise ShapeError(
+            f"launch graph ({graph.kind}, n={graph.n}, ts={graph.ts}, "
+            f"fused={graph.fused}, streams={graph.streams}, "
+            f"counted={graph.counted}) does not match the replayable "
+            f"square solve (n={n}, ts={ts}, fused={config.fused})"
+        )
+    ex = NumericExecutor(
+        W, ts, storage.eps, session=session, compute_dtype=compute_dtype,
+        storage=storage, stage3=config.stage3,
     )
-
-    # ---- stage 2: band -> bidiagonal ------------------------------------ #
-    band = extract_band(W, ts)
-    work_dtype = compute_dtype if compute_dtype is not None else storage.dtype
-    band_c = band.astype(work_dtype, copy=False)
-    d, e = band_to_bidiagonal(band_c, ts, session=session, inplace=True)
-    # round through storage precision, as a device-resident result would be
-    d = d.astype(storage.dtype).astype(np.float64)
-    e = e.astype(storage.dtype).astype(np.float64)
-
-    # ---- stage 3: bidiagonal -> singular values (CPU) -------------------- #
-    session.launch_solve(n)
-    vals = svdvals_bidiag(d, e, method=config.stage3)
+    ex.run(graph)
 
     # zero padding contributed exactly (npad - n) zero singular values
-    vals = vals[:n].copy()
+    vals = ex.values[:n].copy()
     if scale != 1.0:
         vals /= scale
 

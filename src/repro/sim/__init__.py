@@ -1,10 +1,13 @@
 """GPU execution simulator: cost model, occupancy, tracing, prediction.
 
-The simulator replaces physical GPU timing in this reproduction.  Kernels
-execute their numerics in NumPy while every launch is priced by an analytic
-roofline/occupancy model parameterized by the Table 2 device specs; the
-closed-form :func:`predict` walks the same launch schedule without numerics
-for arbitrary matrix sizes.
+The simulator replaces physical GPU timing in this reproduction.  Every
+problem shape is encoded once as a :class:`LaunchGraph` (emitted by the
+drivers in :mod:`repro.core`); the :class:`NumericExecutor` replays it in
+NumPy while pricing each launch with the analytic roofline/occupancy model
+parameterized by the Table 2 device specs, the :class:`AnalyticExecutor`
+prices the same graph without numerics for arbitrary matrix sizes
+(:func:`predict`), and :func:`schedule_streams` prices multi-stream
+lookahead overlap with a greedy critical-path scheduler.
 """
 
 from .costmodel import (
@@ -16,24 +19,37 @@ from .costmodel import (
     panel_cost,
     update_cost,
 )
+from .graph import AnalyticExecutor, LaunchGraph, LaunchNode, NumericExecutor
 from .occupancy import OccupancyInfo, update_occupancy, warp_utilization
 from .params import REFERENCE_PARAMS, KernelParams, param_grid
 from .scaling import predict_multi_gpu, predict_out_of_core
 from .schedule import TimeBreakdown, predict, stage1_launch_count
 from .session import Session
-from .timeline import dump_json, kernel_summary, render_timeline, timeline_rows
+from .timeline import (
+    StreamSchedule,
+    dump_json,
+    kernel_summary,
+    render_timeline,
+    schedule_streams,
+    timeline_rows,
+)
 from .tracing import LaunchRecord, Stage, Tracer
 
 __all__ = [
+    "AnalyticExecutor",
     "CostCoefficients",
     "DEFAULT_COEFFS",
     "KernelParams",
     "LaunchCost",
+    "LaunchGraph",
+    "LaunchNode",
     "LaunchRecord",
+    "NumericExecutor",
     "OccupancyInfo",
     "REFERENCE_PARAMS",
     "Session",
     "Stage",
+    "StreamSchedule",
     "TimeBreakdown",
     "Tracer",
     "bidiag_solve_cost",
@@ -43,6 +59,7 @@ __all__ = [
     "predict",
     "predict_multi_gpu",
     "predict_out_of_core",
+    "schedule_streams",
     "stage1_launch_count",
     "update_cost",
     "update_occupancy",

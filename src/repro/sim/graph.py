@@ -1,0 +1,492 @@
+"""LaunchGraph: the declarative launch IR behind every driver.
+
+This module is the single encoding of the solver's kernel-launch schedule.
+Drivers no longer interleave numerics with launch bookkeeping, and the
+analytic predictor no longer re-walks the schedule by hand: both consume
+one :class:`LaunchGraph` emitted per problem shape by the ``emit_*``
+functions in :mod:`repro.core` (``emit_svd_graph``, ``emit_tallqr_graph``,
+``emit_batched_graph``).
+
+A :class:`LaunchGraph` is an ordered DAG of :class:`LaunchNode`\\ s.  Each
+node carries
+
+* ``kind``  - the kernel name (``"geqrt"``, ``"ftsmqr"``, ...);
+* ``stage`` - the Figure 6 attribution tag (:class:`~repro.sim.tracing.Stage`);
+* ``key``   - the cost-model key, in the same namespace as
+  ``Session.cost_cache`` so numeric execution and analytic pricing share
+  one launch-price memo;
+* ``meta``  - the tile coordinates needed to run the numerics;
+* ``deps``  - indices of earlier nodes this launch must wait for (used by
+  the multi-stream scheduler; list order is already a topological order);
+* ``stream`` - the stream the greedy scheduler placed the launch on
+  (``None`` until :func:`repro.sim.timeline.schedule_streams` runs).
+
+Two executors consume the graph:
+
+* :class:`NumericExecutor` replays the nodes in order against a
+  :class:`~repro.sim.session.Session`, invoking the NumPy kernels on a
+  padded workspace.  Node order equals the historical driver loop order,
+  so results are bitwise identical to the pre-graph drivers.
+* :class:`AnalyticExecutor` prices the same nodes without touching data,
+  producing the :class:`~repro.sim.schedule.TimeBreakdown` that
+  :meth:`repro.Solver.predict` returns.  Because both executors walk the
+  same nodes, the consistency between traced and predicted schedules is
+  structural rather than maintained by hand (pinned in
+  ``tests/test_graph.py``).
+
+Multi-stream graphs (``streams > 1``) model the *lookahead* variant of
+the algorithm: every trailing-update launch is split into a head chunk
+and remainder chunks that may overlap the next panel on other streams.
+The head chunk is the launch-granularity stand-in for the tile-level
+prioritization of SLATE/MAGMA-class task-graph runtimes: it represents
+the prioritized sub-launch that produces everything the next panel chain
+reads (priced as one tile-column of update work), so ``panel(s+1) <-
+head(s)`` is a *modeling* decomposition, not a claim that a literal
+leading-column split carries those operands through the alternating
+RQ/LQ orientation.  Such graphs change launch counts and are priced by
+:func:`repro.sim.timeline.schedule_streams`; they are analytic-only - the
+numeric executor rejects them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .costmodel import (
+    LaunchCost,
+    ZERO_COST,
+    bidiag_solve_cost,
+    brd_cost,
+    panel_cost,
+    update_cost,
+)
+from .tracing import Stage
+
+__all__ = [
+    "AnalyticExecutor",
+    "LaunchGraph",
+    "LaunchNode",
+    "NumericExecutor",
+    "node_overhead_s",
+    "price_node",
+]
+
+#: Cost-key families charged without a device launch overhead (CPU-side).
+_CPU_FAMILIES = ("solve", "solve_b")
+
+
+@dataclass(slots=True)
+class LaunchNode:
+    """One kernel launch of the schedule.
+
+    ``key`` determines the launch price; ``meta`` the numeric operands
+    (tile-row *ranges* are stored as ``(start, stop)`` pairs so emission
+    stays linear in the tile count).  ``primary=False`` marks follow-up
+    launches of an aggregate kernel (the stage-2 chase issues many
+    launches whose total work is priced on the first one) - they charge
+    only their launch overhead.  Nodes are emitted once and treated as
+    immutable afterwards; ``slots`` keeps per-node construction cheap on
+    the ``predict`` hot path.
+    """
+
+    kind: str
+    stage: str
+    key: Tuple
+    meta: Tuple = ()
+    deps: Tuple[int, ...] = ()
+    stream: Optional[int] = None
+    primary: bool = True
+    #: Identical consecutive launches folded into one node (counted
+    #: analytic graphs only; replayable graphs always emit count=1).
+    count: int = 1
+
+
+@dataclass
+class LaunchGraph:
+    """Ordered launch DAG for one problem shape.
+
+    ``nodes`` is in emission order, which is both the numeric execution
+    order and a topological order of ``deps``.
+    """
+
+    nodes: List[LaunchNode]
+    kind: str  # "square" | "tallqr" | "batched"
+    n: int  # true (unpadded) problem order / column count
+    npad: int
+    ts: int
+    nbt: int
+    fused: bool = True
+    streams: int = 1
+    batch: Optional[int] = None
+    mpad: Optional[int] = None  # row padding of tall-QR graphs
+    #: True when identical consecutive launches are folded into counted
+    #: nodes (analytic-only; keeps the unfused O(tiles^2) launch schedule
+    #: priceable in O(tiles) nodes, like the pre-graph closed form).
+    counted: bool = False
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def launch_counts(self) -> Dict[str, int]:
+        """Kernel name -> launch count (matches the traced execution)."""
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.kind] = counts.get(node.kind, 0) + node.count
+        return counts
+
+
+# --------------------------------------------------------------------- #
+# pricing
+# --------------------------------------------------------------------- #
+def price_node(
+    node: LaunchNode,
+    config,
+    storage,
+    compute,
+    cache: Optional[dict] = None,
+) -> LaunchCost:
+    """Price one node against a resolved config.
+
+    Keys of the ``panel`` / ``update`` / ``brd`` / ``solve`` families are
+    identical to the keys :class:`~repro.sim.session.Session` uses, so a
+    plan-owned ``cache`` is shared between analytic pricing and numeric
+    execution.  Non-primary nodes are free (overhead-only launches).
+    """
+    if not node.primary:
+        return ZERO_COST
+    key = node.key
+    if cache is not None:
+        cost = cache.get(key)
+        if cost is not None:
+            return cost
+    spec = config.backend.device
+    params, coeffs = config.params, config.coeffs
+    family = key[0]
+    if family == "panel":
+        cost = panel_cost(spec, params, storage, compute, key[1], key[2], coeffs)
+    elif family == "update":
+        cost = update_cost(
+            spec, params, storage, compute, key[1], key[2], key[3], coeffs
+        )
+    elif family == "brd":
+        cost = brd_cost(spec, key[1], key[2], storage, compute, coeffs)
+    elif family == "solve":
+        cost = bidiag_solve_cost(spec, key[1], storage, coeffs)
+    elif family == "panel_b":
+        # batch independent single-chain bodies per launch: the serial
+        # chain length is one body, the grid must fit the device in
+        # ceil(batch / SMs) rounds (see repro.core.batched).
+        batch = key[1]
+        one = panel_cost(spec, params, storage, compute, key[2], key[3], coeffs)
+        rounds = max(1, math.ceil(batch / spec.sm_count))
+        cost = LaunchCost(
+            seconds=one.seconds * rounds,
+            flops=one.flops * batch,
+            bytes=one.bytes * batch,
+            compute_seconds=one.compute_seconds * rounds,
+            memory_seconds=one.memory_seconds * batch,
+        )
+    elif family == "brd_b":
+        batch, n, band = key[1], key[2], key[3]
+        one = brd_cost(spec, n, band, storage, compute, coeffs)
+        # flops/bytes scale with the batch; the serial chase latency does
+        # not (independent problems chase concurrently)
+        cost = LaunchCost(
+            seconds=max(
+                one.compute_seconds * batch,
+                one.memory_seconds * batch,
+                one.seconds,
+            ),
+            flops=one.flops * batch,
+            bytes=one.bytes * batch,
+            compute_seconds=one.compute_seconds * batch,
+            memory_seconds=one.memory_seconds * batch,
+        )
+    elif family == "solve_b":
+        batch, n = key[1], key[2]
+        one = bidiag_solve_cost(spec, n, storage, coeffs)
+        cost = LaunchCost(
+            seconds=one.compute_seconds * batch + coeffs.cpu_call_overhead_s,
+            flops=one.flops * batch,
+            compute_seconds=one.compute_seconds * batch,
+        )
+    else:  # pragma: no cover - emitter bug
+        raise ValueError(f"unknown launch-cost family {family!r}")
+    if cache is not None:
+        cache[key] = cost
+    return cost
+
+
+def node_overhead_s(node: LaunchNode, spec) -> float:
+    """Launch overhead charged for one node (0 for CPU-side launches)."""
+    if node.key[0] in _CPU_FAMILIES:
+        return 0.0
+    return spec.launch_overhead_s
+
+
+# --------------------------------------------------------------------- #
+# analytic executor
+# --------------------------------------------------------------------- #
+class AnalyticExecutor:
+    """Price a :class:`LaunchGraph` without touching matrix data.
+
+    Accumulates per-stage kernel seconds and launch overheads in node
+    order with the exact accounting of the
+    :class:`~repro.sim.tracing.Tracer`, so the per-stage seconds of a
+    traced numeric run and of the analytic pricing are *float-identical*
+    (not merely approximately equal).
+    """
+
+    def __init__(self, config, storage, cache: Optional[dict] = None) -> None:
+        self.config = config
+        self.storage = storage
+        self.compute = config.backend.compute_precision(storage)
+        self.cache = cache
+
+    def run(self, graph: LaunchGraph) -> "TimeBreakdown":
+        """Return the priced :class:`~repro.sim.schedule.TimeBreakdown`."""
+        from .schedule import TimeBreakdown  # avoid import cycle
+
+        spec = self.config.backend.device
+        # a fixed shape prices the same few launch shapes repeatedly
+        # (both sweeps of a diagonal step share keys); even a run-local
+        # memo roughly halves the cost-model arithmetic
+        cache = self.cache if self.cache is not None else {}
+        cost_s: Dict[str, float] = {}
+        over_s: Dict[str, float] = {}
+        launches: Dict[str, int] = {}
+        flops = 0.0
+        nbytes = 0.0
+        for node in graph.nodes:
+            cost = price_node(
+                node, self.config, self.storage, self.compute, cache
+            )
+            stage = node.stage
+            overhead = node_overhead_s(node, spec)
+            if node.count == 1:
+                cost_s[stage] = cost_s.get(stage, 0.0) + cost.seconds
+                over_s[stage] = over_s.get(stage, 0.0) + overhead
+                flops += cost.flops
+                nbytes += cost.bytes
+            else:
+                # expand counted nodes by repeated addition so per-stage
+                # sums stay float-identical to the traced per-launch run
+                c = cost_s.get(stage, 0.0)
+                o = over_s.get(stage, 0.0)
+                for _ in range(node.count):
+                    c += cost.seconds
+                    o += overhead
+                    flops += cost.flops
+                    nbytes += cost.bytes
+                cost_s[stage] = c
+                over_s[stage] = o
+            launches[node.kind] = launches.get(node.kind, 0) + node.count
+
+        def stage_total(stage: str) -> float:
+            return cost_s.get(stage, 0.0) + over_s.get(stage, 0.0)
+
+        return TimeBreakdown(
+            n=graph.n,
+            panel_s=stage_total(Stage.PANEL),
+            update_s=stage_total(Stage.UPDATE),
+            brd_s=stage_total(Stage.BRD),
+            solve_s=stage_total(Stage.SOLVE),
+            launches=launches,
+            flops=flops,
+            bytes=nbytes,
+        )
+
+
+# --------------------------------------------------------------------- #
+# numeric executor
+# --------------------------------------------------------------------- #
+class NumericExecutor:
+    """Replay a :class:`LaunchGraph` numerically on a padded workspace.
+
+    Nodes are executed in list order, which reproduces the historical
+    driver loops kernel call for kernel call - results are bitwise
+    identical to the pre-graph code path.  Every launch is recorded
+    through ``session`` (when given) with the same cost keys the graph
+    carries, so a plan-shared ``Session.cost_cache`` is hit, never
+    re-priced.
+
+    Stage-1-only node lists (from ``emit_band_reduction`` /
+    ``emit_tallqr_graph``) need no ``storage``/``stage3``; full square
+    graphs run stage 2/3 as well and leave the singular values in
+    ``self.values``.
+    """
+
+    def __init__(
+        self,
+        W,
+        ts: int,
+        eps: float,
+        session=None,
+        compute_dtype=None,
+        storage=None,
+        stage3: str = "auto",
+    ) -> None:
+        import numpy as np
+
+        self.W = W
+        self.Wt = W.T
+        self.ts = ts
+        self.eps = eps
+        self.session = session
+        self.compute_dtype = compute_dtype
+        self.storage = storage
+        self.stage3 = stage3
+        self._np = np
+        self._tau0: Dict[int, object] = {}
+        self._taus: Dict[int, list] = {}
+        self._tau1: Dict[Tuple[int, int], object] = {}
+        self.d = None
+        self.e = None
+        self.values = None
+        # kernels are imported lazily: repro.core and repro.kernels import
+        # this module at load time, so a module-level import would cycle.
+        from ..kernels import ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr
+        from ..core.tiling import extract_band, tile
+
+        self._k = (geqrt, unmqr, ftsqrt, ftsmqr, tsqrt, tsmqr)
+        self._tile = tile
+        self._extract_band = extract_band
+
+    # ------------------------------------------------------------------ #
+    def run(self, graph) -> "NumericExecutor":
+        """Execute all nodes (a :class:`LaunchGraph` or a node list)."""
+        nodes = graph.nodes if isinstance(graph, LaunchGraph) else graph
+        if isinstance(graph, LaunchGraph) and (
+            graph.streams != 1 or graph.counted
+        ):
+            raise ValueError(
+                "multi-stream and counted graphs are analytic-only; emit "
+                "with streams=1, counted=False for numeric replay"
+            )
+        for node in nodes:
+            self._dispatch(node)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _view(self, lq: bool):
+        return self.Wt if lq else self.W
+
+    def _zeros_tau(self):
+        np = self._np
+        return np.zeros(
+            self.ts, dtype=self.compute_dtype or self.W.dtype
+        )
+
+    def _dispatch(self, node: LaunchNode) -> None:
+        kind = node.kind
+        ts = self.ts
+        geqrt, unmqr, ftsqrt, ftsmqr, tsqrt, tsmqr = self._k
+        tile = self._tile
+        if kind == "geqrt":
+            lq, row, col, sweep = node.meta
+            B = self._view(lq)
+            diag = tile(B, row, col, ts)
+            tau0 = self._zeros_tau()
+            self._tau0[sweep] = tau0
+            geqrt(diag, tau0, self.eps, self.compute_dtype)
+            if self.session is not None:
+                self.session.launch_panel(kind, *node.key[1:])
+        elif kind == "unmqr":
+            lq, row, col, c0t, off, cw, sweep = node.meta
+            B = self._view(lq)
+            diag = tile(B, row, col, ts)
+            c0 = c0t * ts + off
+            view = B[row * ts : (row + 1) * ts, c0 : c0 + cw]
+            # each tau register has exactly one consumer; popping keeps
+            # the replay's live set at one sweep, like the old loops
+            unmqr(diag, self._tau0.pop(sweep), view, self.compute_dtype)
+            if self.session is not None:
+                self.session.launch_update(kind, *node.key[1:])
+        elif kind == "ftsqrt":
+            lq, row, col, rows, sweep = node.meta
+            B = self._view(lq)
+            diag = tile(B, row, col, ts)
+            taus = [self._zeros_tau() for _ in range(rows[0], rows[1])]
+            self._taus[sweep] = taus
+            Bs = [tile(B, l, col, ts) for l in range(rows[0], rows[1])]
+            ftsqrt(diag, Bs, taus, self.eps, self.compute_dtype)
+            if self.session is not None:
+                self.session.launch_panel(kind, *node.key[1:])
+        elif kind == "ftsmqr":
+            lq, row, col, rows, c0t, off, cw, sweep = node.meta
+            B = self._view(lq)
+            c0 = c0t * ts + off
+            Bs = [tile(B, l, col, ts) for l in range(rows[0], rows[1])]
+            Y = B[row * ts : (row + 1) * ts, c0 : c0 + cw]
+            Xs = [
+                B[l * ts : (l + 1) * ts, c0 : c0 + cw]
+                for l in range(rows[0], rows[1])
+            ]
+            ftsmqr(Bs, self._taus.pop(sweep), Y, Xs, self.compute_dtype)
+            if self.session is not None:
+                self.session.launch_update(kind, *node.key[1:])
+        elif kind == "tsqrt":
+            lq, row, col, l, sweep = node.meta
+            B = self._view(lq)
+            taul = self._zeros_tau()
+            self._tau1[(sweep, l)] = taul
+            tsqrt(
+                tile(B, row, col, ts), tile(B, l, col, ts), taul, self.eps,
+                self.compute_dtype,
+            )
+            if self.session is not None:
+                self.session.launch_panel(kind, *node.key[1:])
+        elif kind == "tsmqr":
+            lq, row, col, l, c0t, off, cw, sweep = node.meta
+            B = self._view(lq)
+            c0 = c0t * ts + off
+            Y = B[row * ts : (row + 1) * ts, c0 : c0 + cw]
+            X = B[l * ts : (l + 1) * ts, c0 : c0 + cw]
+            tsmqr(
+                tile(B, l, col, ts), self._tau1.pop((sweep, l)), Y, X,
+                self.compute_dtype,
+            )
+            if self.session is not None:
+                self.session.launch_update(kind, *node.key[1:])
+        elif kind == "brd_chase":
+            if node.primary:
+                if self.session is not None:
+                    # records the full launch pattern (aggregate cost on
+                    # the first launch, overhead-only on the rest), which
+                    # the follow-up non-primary nodes represent
+                    self.session.launch_brd(node.key[1], node.key[2])
+                self._run_stage2()
+        elif kind == "bdsqr_cpu":
+            np = self._np
+            self._run_stage2()
+            n = node.key[1]
+            if self.session is not None:
+                self.session.launch_solve(n)
+            from ..core.bidiag import svdvals_bidiag
+
+            # round through storage precision, as a device-resident
+            # result would be
+            d = self.d.astype(self.storage.dtype).astype(np.float64)
+            e = self.e.astype(self.storage.dtype).astype(np.float64)
+            self.values = svdvals_bidiag(d, e, method=self.stage3)
+        else:  # pragma: no cover - emitter bug
+            raise ValueError(f"unknown launch kind {kind!r}")
+
+    def _run_stage2(self) -> None:
+        """Band -> bidiagonal numerics (once, on the first stage-2 node)."""
+        if self.d is not None:
+            return
+        from ..core.brd import band_to_bidiagonal
+
+        band = self._extract_band(self.W, self.ts)
+        work_dtype = (
+            self.compute_dtype
+            if self.compute_dtype is not None
+            else self.storage.dtype
+        )
+        band_c = band.astype(work_dtype, copy=False)
+        self.d, self.e = band_to_bidiagonal(
+            band_c, self.ts, session=None, inplace=True
+        )

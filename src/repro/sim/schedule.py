@@ -1,42 +1,34 @@
-"""Closed-form schedule model: predict simulated runtime without numerics.
+"""Analytic runtime prediction: price the launch graph without numerics.
 
-The stage-1 reduction (Algorithm 1/2) has a fully static launch schedule:
-for each of the ``N = n / TILESIZE`` diagonal tiles, an RQ sweep and an LQ
-sweep issue a fixed pattern of panel and update launches.  This module
-walks that schedule *analytically* - the launch sequence and its cost are
-computed without touching matrix data - which lets the benchmark harness
-price the paper's full size grid (up to 131072 for FP16 on H100) in
-milliseconds.
+The solver's launch schedule is fully static per problem shape.  Since the
+stage-graph refactor there is exactly *one* encoding of it - the
+:class:`~repro.sim.graph.LaunchGraph` emitted by
+:func:`repro.core.emit_svd_graph` - and this module is a thin wrapper that
+prices that graph with the :class:`~repro.sim.graph.AnalyticExecutor`.
+The launch sequence and its cost are computed without touching matrix
+data, which lets the benchmark harness price the paper's full size grid
+(up to 131072 for FP16 on H100) in milliseconds.
 
-Consistency guarantee: for sizes where the numeric driver actually runs,
-``predict(...)`` charges exactly the same launches as the traced execution
-(pinned by a property test in ``tests/test_schedule_consistency.py``).
+Consistency guarantee: the numeric driver replays the *same* graph, so
+``predict(...)`` charges identical launches and per-stage seconds by
+construction (pinned by the property tests in ``tests/test_graph.py``).
 
 Fused vs unfused (Figure 2): ``fused=True`` prices one FTSQRT + one FTSMQR
 launch per sweep; ``fused=False`` prices one TSQRT + one TSMQR launch per
 below-diagonal tile row, reproducing the paper's quadratic-vs-linear launch
-scaling.
+scaling (:func:`stage1_launch_count` is the closed-form count).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..backends.backend import BackendLike
 from ..errors import ShapeError
 from ..precision import PrecisionLike
-from .costmodel import (
-    DEFAULT_COEFFS,
-    CostCoefficients,
-    LaunchCost,
-    bidiag_solve_cost,
-    brd_cost,
-    brd_launch_count,
-    panel_cost,
-    update_cost,
-)
+from .costmodel import DEFAULT_COEFFS, CostCoefficients
+from .graph import AnalyticExecutor
 from .params import KernelParams
 from .tracing import Stage
 
@@ -120,144 +112,20 @@ def predict_resolved(
     """Single-matrix prediction against a resolved ``SolveConfig``.
 
     The single shared code path behind :meth:`repro.Solver.predict` and
-    the legacy :func:`predict` shim.
+    the legacy :func:`predict` shim: emit the launch graph the numeric
+    driver would replay, then price it analytically.
     """
-    be = config.backend
+    # the emitter lives with the drivers; importing it lazily keeps
+    # repro.sim importable before repro.core
+    from ..core.svd import emit_svd_graph
+
     storage = config.require_precision("prediction")
-    compute = be.compute_precision(storage)
-    params = config.params
-    fused = config.fused
-    coeffs = config.coeffs
     if n < 1:
         raise ShapeError(f"matrix order must be positive, got {n}")
     if check_capacity:
-        be.check_capacity(n, storage)
-
-    spec = be.device
-    ts = params.tilesize
-    nbtiles = max(1, math.ceil(n / ts))
-    npad = nbtiles * ts
-    overhead = spec.launch_overhead_s
-
-    bd = TimeBreakdown(n=n)
-    launches: Dict[str, int] = {}
-
-    def add(kind: str, stage: str, cost: LaunchCost, count: int = 1) -> None:
-        if count <= 0:
-            return
-        launches[kind] = launches.get(kind, 0) + count
-        seconds = count * (cost.seconds + overhead)
-        if stage == Stage.PANEL:
-            bd.panel_s += seconds
-        elif stage == Stage.UPDATE:
-            bd.update_s += seconds
-        elif stage == Stage.BRD:
-            bd.brd_s += seconds
-        else:
-            bd.solve_s += seconds
-        bd.flops += count * cost.flops
-        bd.bytes += count * cost.bytes
-
-    # cost of each kernel shape is k-dependent only through widths/rows;
-    # memoize the three panel shapes once.
-    geqrt = panel_cost(spec, params, storage, compute, 1, 1, coeffs)
-    tsqrt = panel_cost(spec, params, storage, compute, 1, 2, coeffs)
-
-    for k in range(nbtiles - 1):
-        w = nbtiles - 1 - k  # trailing width in tiles
-        width = w * ts  # trailing width in columns
-        r = w  # RQ below-diagonal tile rows
-        r2 = w - 1  # LQ right-of-superdiagonal tile cols
-
-        # ---- RQ sweep -------------------------------------------------- #
-        add("geqrt", Stage.PANEL, geqrt)
-        add(
-            "unmqr",
-            Stage.UPDATE,
-            update_cost(
-                spec, params, storage, compute, width, 1, False, coeffs
-            ),
-        )
-        if r > 0:
-            if fused:
-                add(
-                    "ftsqrt",
-                    Stage.PANEL,
-                    panel_cost(spec, params, storage, compute, r, 2, coeffs),
-                )
-                add(
-                    "ftsmqr",
-                    Stage.UPDATE,
-                    update_cost(
-                        spec, params, storage, compute, width, r, True, coeffs
-                    ),
-                )
-            else:
-                add("tsqrt", Stage.PANEL, tsqrt, count=r)
-                add(
-                    "tsmqr",
-                    Stage.UPDATE,
-                    update_cost(
-                        spec, params, storage, compute, width, 1, True, coeffs
-                    ),
-                    count=r,
-                )
-
-        # ---- LQ sweep (transposed) ------------------------------------- #
-        add("geqrt", Stage.PANEL, geqrt)
-        add(
-            "unmqr",
-            Stage.UPDATE,
-            update_cost(
-                spec, params, storage, compute, width, 1, False, coeffs
-            ),
-        )
-        if r2 > 0:
-            if fused:
-                add(
-                    "ftsqrt",
-                    Stage.PANEL,
-                    panel_cost(spec, params, storage, compute, r2, 2, coeffs),
-                )
-                add(
-                    "ftsmqr",
-                    Stage.UPDATE,
-                    update_cost(
-                        spec, params, storage, compute, width, r2, True, coeffs
-                    ),
-                )
-            else:
-                add("tsqrt", Stage.PANEL, tsqrt, count=r2)
-                add(
-                    "tsmqr",
-                    Stage.UPDATE,
-                    update_cost(
-                        spec, params, storage, compute, width, 1, True, coeffs
-                    ),
-                    count=r2,
-                )
-
-    # final diagonal tile
-    add("geqrt", Stage.PANEL, geqrt)
-
-    # ---- stage 2: band -> bidiagonal ----------------------------------- #
-    brd = brd_cost(spec, npad, ts, storage, compute, coeffs)
-    nbrd = brd_launch_count(npad, ts, coeffs)
-    if nbrd > 0:
-        launches["brd_chase"] = nbrd
-        bd.brd_s += brd.seconds + nbrd * overhead
-        bd.flops += brd.flops
-        bd.bytes += brd.bytes
-
-    # ---- stage 3: bidiagonal -> singular values (CPU) ------------------- #
-    solve = bidiag_solve_cost(spec, n, storage, coeffs)
-    launches["bdsqr_cpu"] = 1
-    bd.solve_s += solve.seconds
-    bd.flops += solve.flops
-    bd.bytes += solve.bytes
-
-    bd.launches = launches
-    return bd
+        config.backend.check_capacity(n, storage)
+    graph = emit_svd_graph(n, config, counted=True)
+    return AnalyticExecutor(config, storage).run(graph)
 
 
 def predict(

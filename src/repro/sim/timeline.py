@@ -1,4 +1,4 @@
-"""Timeline export: inspect and persist the simulator's launch trace.
+"""Timeline tools: launch-trace export and multi-stream scheduling.
 
 The paper's Figure 6 analysis needs per-kernel, per-stage attribution;
 this module turns a :class:`~repro.sim.tracing.Tracer` into human-readable
@@ -8,17 +8,34 @@ and machine-readable artifacts:
   stage, grid/block, simulated time, cumulative clock);
 * :func:`timeline_rows` - plain dict rows, JSON/CSV-friendly;
 * :func:`kernel_summary` - per-kernel aggregate (count, total time, share).
+
+It also hosts the multi-stream pricing of a
+:class:`~repro.sim.graph.LaunchGraph`: :func:`schedule_streams` runs a
+greedy critical-path list scheduler over the graph's dependency DAG,
+modelling lookahead execution where the panel chain occupies one stream
+while the split trailing-update remainders overlap on the others (the
+scenario behind ``Solver.predict(..., streams=k)``).
 """
 
 from __future__ import annotations
 
+import heapq
 import json
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..report import format_seconds, format_table
+from .graph import LaunchGraph, node_overhead_s, price_node
 from .tracing import Tracer
 
-__all__ = ["timeline_rows", "render_timeline", "kernel_summary", "dump_json"]
+__all__ = [
+    "StreamSchedule",
+    "schedule_streams",
+    "timeline_rows",
+    "render_timeline",
+    "kernel_summary",
+    "dump_json",
+]
 
 
 def timeline_rows(tracer: Tracer) -> List[Dict[str, object]]:
@@ -91,6 +108,125 @@ def kernel_summary(tracer: Tracer) -> List[Dict[str, object]]:
     ]
     out.sort(key=lambda r: -float(r["seconds"]))
     return out
+
+
+@dataclass
+class StreamSchedule:
+    """Result of scheduling a launch graph across ``streams`` streams.
+
+    ``makespan_s`` is the overlapped end-to-end time (what ``total_s``
+    reports); ``serial_s`` is the same graph executed on one stream, so
+    ``speedup`` isolates the overlap benefit of the *same* launch set.
+    ``stage_seconds`` keeps the serial per-stage attribution for Figure 6
+    style reporting.
+    """
+
+    n: int
+    streams: int
+    makespan_s: float
+    serial_s: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    launches: Dict[str, int] = field(default_factory=dict)
+    stream_busy_s: List[float] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        """Overlapped end-to-end simulated seconds."""
+        return self.makespan_s
+
+    @property
+    def speedup(self) -> float:
+        """Serial time of the same launches over the overlapped makespan."""
+        return self.serial_s / self.makespan_s if self.makespan_s > 0 else 1.0
+
+    @property
+    def launch_total(self) -> int:
+        """Total kernel launches in the scheduled graph."""
+        return sum(self.launches.values())
+
+
+def schedule_streams(
+    graph: LaunchGraph,
+    config,
+    storage,
+    streams: int,
+    cache: Optional[dict] = None,
+) -> StreamSchedule:
+    """Greedy critical-path schedule of ``graph`` onto ``streams`` streams.
+
+    Classic list scheduling: each node's priority is its longest
+    downstream path (critical path including itself); among ready nodes
+    the highest priority is placed on the stream where it can start
+    earliest (``start = max(stream available, deps finished)``).  The
+    chosen placement is written back to each node's ``stream`` field for
+    inspection (a later call overwrites it).  With ``streams=1`` this
+    degenerates to the serial sum the
+    :class:`~repro.sim.graph.AnalyticExecutor` charges.
+    """
+    if streams < 1:
+        raise ValueError(f"need at least one stream, got {streams}")
+    if graph.counted:
+        raise ValueError(
+            "counted graphs fold launch runs and cannot be list-scheduled; "
+            "emit with counted=False"
+        )
+    spec = config.backend.device
+    compute = config.backend.compute_precision(storage)
+    nodes = graph.nodes
+    nnodes = len(nodes)
+    if cache is None:
+        cache = {}  # run-local price memo (sweeps share launch shapes)
+
+    durs = [0.0] * nnodes
+    stage_seconds: Dict[str, float] = {}
+    launches: Dict[str, int] = {}
+    for i, node in enumerate(nodes):
+        cost = price_node(node, config, storage, compute, cache)
+        durs[i] = cost.seconds + node_overhead_s(node, spec)
+        stage_seconds[node.stage] = stage_seconds.get(node.stage, 0.0) + durs[i]
+        launches[node.kind] = launches.get(node.kind, 0) + 1
+    serial_s = sum(durs)
+
+    # longest path to a sink (node list order is topological)
+    children: List[List[int]] = [[] for _ in range(nnodes)]
+    indeg = [0] * nnodes
+    for i, node in enumerate(nodes):
+        indeg[i] = len(node.deps)
+        for d in node.deps:
+            children[d].append(i)
+    prio = [0.0] * nnodes
+    for i in range(nnodes - 1, -1, -1):
+        down = max((prio[c] for c in children[i]), default=0.0)
+        prio[i] = durs[i] + down
+
+    ready = [(-prio[i], i) for i in range(nnodes) if indeg[i] == 0]
+    heapq.heapify(ready)
+    avail = [0.0] * streams
+    busy = [0.0] * streams
+    finish = [0.0] * nnodes
+    while ready:
+        _, i = heapq.heappop(ready)
+        dep_ready = max((finish[d] for d in nodes[i].deps), default=0.0)
+        s = min(range(streams), key=lambda q: max(avail[q], dep_ready))
+        start = max(avail[s], dep_ready)
+        finish[i] = start + durs[i]
+        avail[s] = finish[i]
+        busy[s] += durs[i]
+        nodes[i].stream = s  # record the placement back onto the IR
+        for c in children[i]:
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                heapq.heappush(ready, (-prio[c], c))
+
+    return StreamSchedule(
+        n=graph.n,
+        streams=streams,
+        makespan_s=max(finish) if nnodes else 0.0,
+        serial_s=serial_s,
+        stage_seconds=stage_seconds,
+        launches=launches,
+        stream_busy_s=busy,
+    )
 
 
 def dump_json(tracer: Tracer) -> str:

@@ -49,19 +49,15 @@ from .backends.backend import Backend, BackendLike
 from .config import SolveConfig
 from .errors import InvalidParamsError, ShapeError
 from .precision import Precision, PrecisionLike
-from .sim.costmodel import (
-    CostCoefficients,
-    bidiag_solve_cost,
-    brd_cost,
-    panel_cost,
-    update_cost,
-)
+from .sim.costmodel import CostCoefficients
+from .sim.graph import AnalyticExecutor
 from .sim.params import KernelParams
 from .sim.schedule import TimeBreakdown, predict_resolved
-from .sim.tracing import Stage
+from .sim.timeline import StreamSchedule, schedule_streams
 from .core.batched import predict_batched_resolved, svdvals_batched_resolved
-from .core.rectangular import svdvals_rect_resolved
-from .core.svd import svdvals_resolved
+from .core.jacobi import jacobi_svdvals_resolved
+from .core.rectangular import emit_tallqr_graph, svdvals_rect_resolved
+from .core.svd import emit_svd_graph, svdvals_resolved
 from .core.tiling import ntiles
 from .core.vectors import svd_full_resolved
 from .sim.scaling import predict_multi_gpu_resolved, predict_out_of_core_resolved
@@ -90,6 +86,9 @@ class Solver:
         fused: bool = True,
         check_finite: bool = True,
         rescale: bool = True,
+        method: str = "qr",
+        jacobi_tol: Optional[float] = None,
+        jacobi_max_sweeps: int = 60,
     ) -> None:
         self._config = SolveConfig.resolve(
             backend=backend,
@@ -100,6 +99,9 @@ class Solver:
             fused=fused,
             check_finite=check_finite,
             rescale=rescale,
+            method=method,
+            jacobi_tol=jacobi_tol,
+            jacobi_max_sweeps=jacobi_max_sweeps,
         )
 
     # ------------------------------------------------------------------ #
@@ -163,9 +165,13 @@ class Solver:
 
         Returns descending singular values (``(min(m, n),)`` for 2-D
         inputs, ``(batch, n)`` for stacks), plus the execution report when
-        ``return_info=True``.
+        ``return_info=True``.  Handles constructed with
+        ``method="jacobi"`` run the one-sided Jacobi cross-check instead
+        (no simulated launches, hence no execution report).
         """
         A = np.asarray(A)
+        if self._config.method == "jacobi":
+            return self._solve_jacobi(A, return_info=return_info)
         if A.ndim == 3:
             return self._solve_batched(A, return_info=return_info)
         if A.ndim == 2:
@@ -191,7 +197,31 @@ class Solver:
         vector-bearing pipeline (it always uses the fused kernels and the
         rotation-accumulating Golub-Kahan solver, with no rescaling).
         """
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "Solver.svd runs the two-stage QR vector pipeline; "
+                "construct the Solver with method='qr'"
+            )
         return svd_full_resolved(A, self._config, return_info=return_info)
+
+    def _solve_jacobi(self, A, return_info=False):
+        if return_info:
+            raise InvalidParamsError(
+                "method='jacobi' runs on the host without simulated "
+                "launches; no execution report is available"
+            )
+        if A.ndim == 2:
+            return jacobi_svdvals_resolved(A, self._config)
+        if A.ndim == 3:
+            if A.shape[0] == 0:
+                raise ShapeError("empty batch")
+            return np.stack(
+                [jacobi_svdvals_resolved(a, self._config) for a in A]
+            )
+        raise ShapeError(
+            f"Solver.solve expects a 2-D matrix or a (batch, n, n) stack, "
+            f"got shape {A.shape}"
+        )
 
     # internal single-shape paths (the legacy shims call these directly to
     # preserve their historical shape contracts)
@@ -227,30 +257,45 @@ class Solver:
         out_of_core: bool = False,
         check_capacity: bool = True,
         link_gbs: float = 100.0,
-    ) -> TimeBreakdown:
+        streams: int = 1,
+    ) -> Union[TimeBreakdown, StreamSchedule]:
         """Predict the simulated runtime of an ``n x n`` solve.
 
-        One front door for all four analytic models:
+        One front door for all five analytic models:
 
-        * default: the single-GPU closed-form schedule walk;
-        * ``batch=b``: ``b`` problems through the batched schedule;
+        * default: the single-stream launch graph priced end to end;
+        * ``batch=b``: ``b`` problems through the batched launch graph;
         * ``ngpu=g``: tile-row partitioned multi-GPU stage 1
           (``link_gbs`` sets the interconnect bandwidth);
         * ``out_of_core=True``: host-streamed execution beyond device
-          memory.
+          memory;
+        * ``streams=k`` (k >= 2): lookahead execution across ``k``
+          streams - trailing updates are split so their remainders
+          overlap the next panel factorization, and the graph is priced
+          by the greedy critical-path scheduler (returns a
+          :class:`~repro.sim.timeline.StreamSchedule`).
 
         The modes are mutually exclusive.  ``check_capacity`` applies to
-        the default mode only (batched checks total batch footprint;
-        multi-GPU and out-of-core intentionally price beyond-capacity
-        sizes).  Requires a handle constructed with an explicit precision.
+        the default and ``streams`` modes only (batched checks total batch
+        footprint; multi-GPU and out-of-core intentionally price
+        beyond-capacity sizes).  Requires a handle constructed with an
+        explicit precision.
         """
-        modes = (batch is not None) + (ngpu != 1) + bool(out_of_core)
+        modes = (
+            (batch is not None) + (ngpu != 1) + bool(out_of_core)
+            + (streams != 1)
+        )
         if modes > 1:
             raise InvalidParamsError(
                 "predict modes are mutually exclusive: pass at most one of "
-                "batch=, ngpu=, out_of_core=True"
+                "batch=, ngpu=, out_of_core=True, streams="
             )
-        self._config.require_precision("predict")
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "prediction models the two-stage QR pipeline; construct "
+                "the Solver with method='qr'"
+            )
+        storage = self._config.require_precision("predict")
         if batch is not None:
             return predict_batched_resolved(n, batch, self._config)
         if out_of_core:
@@ -259,6 +304,15 @@ class Solver:
             return predict_multi_gpu_resolved(
                 n, self._config, ngpu, link_gbs=link_gbs
             )
+        if streams != 1:
+            if streams < 1:
+                raise InvalidParamsError(
+                    f"streams must be a positive stream count, got {streams}"
+                )
+            if check_capacity:
+                self._config.backend.check_capacity(n, storage)
+            graph = emit_svd_graph(n, self._config, streams=streams)
+            return schedule_streams(graph, self._config, storage, streams)
         return predict_resolved(n, self._config, check_capacity=check_capacity)
 
     # ------------------------------------------------------------------ #
@@ -272,6 +326,11 @@ class Solver:
         handle constructed with an explicit precision (the plan pins the
         storage dtype of its workspace).
         """
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "plans precompute the two-stage QR launch graph; construct "
+                "the Solver with method='qr'"
+            )
         return SvdPlan(self._config, shape)
 
 
@@ -280,10 +339,12 @@ class SvdPlan:
 
     Construction resolves everything a solve of this shape needs beyond
     the numerics: the padded problem size and tile grid, the capacity
-    check, a reusable padded workspace in storage precision, and the full
-    launch-price table of the static schedule.  :meth:`execute` then runs
-    only the numerics — results are bitwise identical to one-shot
-    :meth:`Solver.solve` calls.
+    check, a reusable padded workspace in storage precision, the emitted
+    :class:`~repro.sim.graph.LaunchGraph` of the static schedule, and its
+    full launch-price table (filled by pricing the graph analytically).
+    :meth:`execute` then replays the cached graph with zero
+    schedule-construction cost — results are bitwise identical to
+    one-shot :meth:`Solver.solve` calls.
 
     A plan owns one workspace buffer, so a single plan instance must not
     be executed concurrently from multiple threads.
@@ -351,110 +412,31 @@ class SvdPlan:
             )
             self._square_workspace = None
 
-        #: Shared launch-price memo (see ``Session.cost_cache``).
+        #: The emitted launch graph of the planned (square) solve; rect
+        #: plans additionally cache the tall-QR preprocessing graph, and
+        #: batched plans replay the square graph once per matrix.
+        self._graph = emit_svd_graph(self.n, config)
+        self._prep_graph = (
+            emit_tallqr_graph(self.m, self.n, config)
+            if self.kind == "rect" else None
+        )
+        #: Shared launch-price memo (see ``Session.cost_cache``), filled
+        #: by pricing the cached graph(s) - the numeric replay requests
+        #: exactly these keys, so no cost-model arithmetic remains on the
+        #: solve path.
         self._cost_cache: dict = {}
-        self._prefill_cost_cache()
+        pricer = AnalyticExecutor(config, storage, cache=self._cost_cache)
+        self._square_breakdown = pricer.run(self._graph)
+        self._prep_breakdown = (
+            pricer.run(self._prep_graph) if self._prep_graph else None
+        )
 
     # ------------------------------------------------------------------ #
-    def _prefill_cost_cache(self) -> None:
-        """Price the static launch schedule ahead of the first execute.
+    @property
+    def graph(self):
+        """The cached :class:`~repro.sim.graph.LaunchGraph` replayed per solve."""
+        return self._graph
 
-        Walks the same launch shapes the traced execution will request
-        (the schedule of a fixed shape is static) so that no cost-model
-        arithmetic remains on the solve path.  Keys mirror
-        ``Session.launch_*``.
-        """
-        cfg = self.config
-        spec = cfg.backend.device
-        params, storage, compute = cfg.params, self.storage, self.compute
-        ts = params.tilesize
-        cache = self._cost_cache
-
-        def panel(nbodies: int, body_tiles: int) -> None:
-            key = ("panel", nbodies, body_tiles)
-            if key not in cache:
-                cache[key] = panel_cost(
-                    spec, params, storage, compute, nbodies, body_tiles,
-                    cfg.coeffs,
-                )
-
-        def update(width: int, nrows: int, has_top: bool) -> None:
-            key = ("update", width, nrows, has_top)
-            if key not in cache:
-                cache[key] = update_cost(
-                    spec, params, storage, compute, width, nrows, has_top,
-                    cfg.coeffs,
-                )
-
-        panel(1, 1)  # GEQRT
-        for k in range(self.nbt - 1):
-            w = self.nbt - 1 - k
-            width = w * ts
-            update(width, 1, False)  # UNMQR (RQ and LQ sweeps)
-            if cfg.fused:
-                panel(w, 2)  # FTSQRT, RQ sweep
-                update(width, w, True)  # FTSMQR, RQ sweep
-                if w - 1 > 0:
-                    panel(w - 1, 2)  # FTSQRT, LQ sweep
-                    update(width, w - 1, True)  # FTSMQR, LQ sweep
-            else:
-                panel(1, 2)  # TSQRT
-                update(width, 1, True)  # TSMQR
-        cache[("brd", self.npad, ts)] = brd_cost(
-            spec, self.npad, ts, storage, compute, cfg.coeffs
-        )
-        cache[("solve", self.n)] = bidiag_solve_cost(
-            spec, self.n, storage, cfg.coeffs
-        )
-        if self.kind == "rect":
-            for _ in self._walk_rect_prep():
-                pass  # pricing each launch shape fills the cache
-
-    def _walk_rect_prep(self):
-        """Yield each tall-QR preprocessing launch as (kernel, stage, cost).
-
-        Mirrors the launch pattern of
-        :func:`repro.core.rectangular.qr_reduce_tall` over the padded
-        ``(mpad, npad)`` grid (the fused chain is always used there).
-        Prices go through the shared cache, so walking also prefills it.
-        """
-        cfg = self.config
-        spec = cfg.backend.device
-        params, storage, compute = cfg.params, self.storage, self.compute
-        ts = params.tilesize
-        cache = self._cost_cache
-        mt, nt = self.mpad // ts, self.npad // ts
-
-        def panel(nbodies, body_tiles):
-            key = ("panel", nbodies, body_tiles)
-            if key not in cache:
-                cache[key] = panel_cost(
-                    spec, params, storage, compute, nbodies, body_tiles,
-                    cfg.coeffs,
-                )
-            return cache[key]
-
-        def update(width, nrows, has_top):
-            key = ("update", width, nrows, has_top)
-            if key not in cache:
-                cache[key] = update_cost(
-                    spec, params, storage, compute, width, nrows, has_top,
-                    cfg.coeffs,
-                )
-            return cache[key]
-
-        for k in range(nt):
-            yield "geqrt", Stage.PANEL, panel(1, 1)
-            width = self.npad - (k + 1) * ts
-            if width > 0:
-                yield "unmqr", Stage.UPDATE, update(width, 1, False)
-            below = mt - (k + 1)
-            if below > 0:
-                yield "ftsqrt", Stage.PANEL, panel(below, 2)
-                if width > 0:
-                    yield "ftsmqr", Stage.UPDATE, update(width, below, True)
-
-    # ------------------------------------------------------------------ #
     @property
     def launch_prices(self) -> int:
         """Number of pre-priced launch shapes in the plan's table."""
@@ -469,18 +451,20 @@ class SvdPlan:
         """
         if self.kind == "batched":
             return predict_batched_resolved(self.n, self.batch, self.config)
-        bd = predict_resolved(self.n, self.config, check_capacity=False)
+        sq = self._square_breakdown
+        bd = TimeBreakdown(
+            n=sq.n, panel_s=sq.panel_s, update_s=sq.update_s,
+            brd_s=sq.brd_s, solve_s=sq.solve_s, launches=dict(sq.launches),
+            flops=sq.flops, bytes=sq.bytes,
+        )
         if self.kind == "rect":
-            overhead = self.config.backend.device.launch_overhead_s
-            for kernel, stage, cost in self._walk_rect_prep():
-                seconds = cost.seconds + overhead
-                if stage == Stage.PANEL:
-                    bd.panel_s += seconds
-                else:
-                    bd.update_s += seconds
-                bd.launches[kernel] = bd.launches.get(kernel, 0) + 1
-                bd.flops += cost.flops
-                bd.bytes += cost.bytes
+            pre = self._prep_breakdown
+            bd.panel_s += pre.panel_s
+            bd.update_s += pre.update_s
+            for kernel, count in pre.launches.items():
+                bd.launches[kernel] = bd.launches.get(kernel, 0) + count
+            bd.flops += pre.flops
+            bd.bytes += pre.bytes
         return bd
 
     def execute(
@@ -500,6 +484,7 @@ class SvdPlan:
                 return_info=return_info,
                 workspace=self._workspace,
                 cost_cache=self._cost_cache,
+                graph=self._graph,
             )
         A = np.asarray(A)
         if self.kind == "square":
@@ -513,6 +498,7 @@ class SvdPlan:
                 return_info=return_info,
                 workspace=self._workspace,
                 cost_cache=self._cost_cache,
+                graph=self._graph,
             )
         if A.shape not in ((self.m, self.n), (self.n, self.m)):
             raise ShapeError(
@@ -525,6 +511,8 @@ class SvdPlan:
             workspace=self._workspace,
             cost_cache=self._cost_cache,
             square_workspace=self._square_workspace,
+            prep_graph=self._prep_graph,
+            square_graph=self._graph,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

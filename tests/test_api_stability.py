@@ -50,6 +50,11 @@ CORE_ALL = [
     "band_to_bidiagonal",
     "band_width",
     "bisect",
+    "emit_band_reduction",
+    "emit_batched_graph",
+    "emit_brd_chase",
+    "emit_svd_graph",
+    "emit_tallqr_graph",
     "extract_band",
     "getsmqrt",
     "givens",
@@ -71,15 +76,20 @@ CORE_ALL = [
 ]
 
 SIM_ALL = [
+    "AnalyticExecutor",
     "CostCoefficients",
     "DEFAULT_COEFFS",
     "KernelParams",
     "LaunchCost",
+    "LaunchGraph",
+    "LaunchNode",
     "LaunchRecord",
+    "NumericExecutor",
     "OccupancyInfo",
     "REFERENCE_PARAMS",
     "Session",
     "Stage",
+    "StreamSchedule",
     "TimeBreakdown",
     "Tracer",
     "bidiag_solve_cost",
@@ -92,6 +102,7 @@ SIM_ALL = [
     "predict_multi_gpu",
     "predict_out_of_core",
     "render_timeline",
+    "schedule_streams",
     "stage1_launch_count",
     "timeline_rows",
     "update_cost",
