@@ -9,8 +9,6 @@ numerics remain identical to per-matrix solves.
 """
 
 import numpy as np
-import pytest
-
 from conftest import get_solver, save_result
 from repro.report import format_seconds, format_table
 

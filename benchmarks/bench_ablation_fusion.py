@@ -7,8 +7,6 @@ the numerics are identical while only the schedule differs.
 """
 
 import numpy as np
-import pytest
-
 from conftest import save_result
 from repro.core import svdvals
 from repro.experiments import ablations

@@ -7,8 +7,6 @@ changes numerics; benchmarks the analytic sweep.
 """
 
 import numpy as np
-import pytest
-
 from conftest import save_result
 from repro.core import svdvals
 from repro.experiments import ablations

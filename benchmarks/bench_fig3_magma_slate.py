@@ -5,8 +5,6 @@ asserts the paper's headline claims: the unified function beats SLATE at
 every size and passes MAGMA between 1024 and 2048.
 """
 
-import pytest
-
 from conftest import save_result
 from repro.experiments import ratios
 

@@ -7,8 +7,6 @@ consumer RTX4060 at scale, rocSOLVER behind everywhere, oneMKL crossover
 past 2048.
 """
 
-import pytest
-
 from conftest import save_result
 from repro.experiments import ratios
 

@@ -6,8 +6,6 @@ FP16==FP32 speed on NVIDIA with doubled reach (131k), AMD FP16 and Metal
 FP64 gaps, and capacity-limited curve ends.
 """
 
-import pytest
-
 from conftest import save_result
 from repro.experiments import fig5
 

@@ -6,8 +6,6 @@ the trailing-update-to-panel ratio climbs (steeply on the 24-SM RTX4060
 between 8k and 32k, once full occupancy is exceeded).
 """
 
-import pytest
-
 from conftest import save_result
 from repro.experiments import fig6
 

@@ -17,17 +17,18 @@ The analytic side benefits identically: ``Solver.predict`` re-emits per
 call, ``plan.breakdown()`` reuses the cached graph.
 """
 
+import argparse
 import time
 
 import numpy as np
 
-from conftest import save_result
 from repro.core import emit_svd_graph
 from repro.report import format_table
 from repro.sim import AnalyticExecutor
 
 #: The paper's size grid (Figure 3/4 range that fits emission timing).
 SIZES = (256, 1024, 4096, 16384, 32768)
+QUICK_SIZES = (256, 1024)
 N = 192
 REPS = 50
 
@@ -42,10 +43,18 @@ def _time(fn, reps: int) -> float:
     return best
 
 
-def test_cached_graph_replay(benchmark, solver):
+def run(
+    solver, sizes=SIZES, end_to_end_reps: int = 5, strict_timing: bool = True
+) -> str:
+    """Emission-vs-replay table + end-to-end plan comparison (as text).
+
+    ``strict_timing=False`` (the CI smoke slice) still checks bitwise
+    identity but skips the replay-no-slower wall-clock assertion, which
+    is too noisy for best-of-2 samples on shared runners.
+    """
     cfg = solver.config
     rows = []
-    for n in SIZES:
+    for n in sizes:
         reps = max(3, min(REPS, 200000 // n))
         emit_us = _time(lambda: emit_svd_graph(n, cfg), reps) * 1e6
         graph = emit_svd_graph(n, cfg)
@@ -77,9 +86,10 @@ def test_cached_graph_replay(benchmark, solver):
     oneshot = solver.solve(A)
     np.testing.assert_array_equal(plan.execute(A), oneshot)
 
-    t_oneshot = _time(lambda: solver.solve(A), 5)
-    t_replay = _time(lambda: plan.execute(A), 5)
-    assert t_replay <= t_oneshot * 1.05, (t_replay, t_oneshot)
+    t_oneshot = _time(lambda: solver.solve(A), end_to_end_reps)
+    t_replay = _time(lambda: plan.execute(A), end_to_end_reps)
+    if strict_timing:
+        assert t_replay <= t_oneshot * 1.05, (t_replay, t_oneshot)
 
     rows.append(["", "", "", "", ""])
     rows.append(
@@ -91,13 +101,36 @@ def test_cached_graph_replay(benchmark, solver):
             f"{(t_oneshot - t_replay) / t_oneshot:+.1%} replay",
         ]
     )
-    save_result(
-        "graph_replay",
-        format_table(
-            ["n", "nodes", "emit / one-shot", "price / replay", "cached"],
-            rows,
-            title="LaunchGraph emission vs cached replay (h100 fp32)",
-        ),
+    return format_table(
+        ["n", "nodes", "emit / one-shot", "price / replay", "cached"],
+        rows,
+        title="LaunchGraph emission vs cached replay (h100 fp32)",
     )
 
+
+def test_cached_graph_replay(benchmark, solver):
+    from conftest import save_result
+
+    save_result("graph_replay", run(solver))
+
+    A = np.random.default_rng(0).standard_normal((N, N)).astype(np.float32)
+    plan = solver.plan((N, N))
     benchmark(lambda: plan.execute(A))
+
+
+if __name__ == "__main__":
+    import repro
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke slice: small sizes only, fewer repetitions",
+    )
+    args = parser.parse_args()
+    shared = repro.Solver(backend="h100", precision="fp32")
+    if args.quick:
+        print(run(shared, sizes=QUICK_SIZES, end_to_end_reps=2,
+                  strict_timing=False))
+    else:
+        print(run(shared))

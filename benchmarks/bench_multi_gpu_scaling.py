@@ -1,0 +1,126 @@
+"""Strong scaling of the partitioned stage graph across 1-8 GPUs.
+
+PR 3 made multi-GPU a first-class axis of the graph engine: predictions
+shard the emitted LaunchGraph tile-row-wise with explicit comm nodes
+(panel broadcast, boundary exchange, band gather) priced by the
+backend's link model, replacing the closed-form scaling formula.  This
+bench records the strong-scaling sweep the partitioner unlocks:
+
+1. ``Solver.predict(n, ngpu=g)`` for g = 1, 2, 4, 8 at two sizes,
+   reporting total time, speedup, the per-device update critical path
+   and the comm component (the comm-vs-compute split the closed form
+   could not attribute);
+2. the ``ngpu x streams`` composition: the device-aware list scheduler
+   overlaps remote update chunks with the serial panel chain, beating
+   the stage-structured pricing at the same device count.
+
+Run standalone with ``--quick`` for the CI smoke slice::
+
+    PYTHONPATH=src python benchmarks/bench_multi_gpu_scaling.py --quick
+"""
+
+import argparse
+
+import repro
+from repro.report import format_breakdown, format_seconds, format_table
+
+SIZES = (8192, 32768)
+QUICK_SIZES = (4096,)
+GPUS = (1, 2, 4, 8)
+
+
+def scaling_rows(solver: "repro.Solver", n: int) -> list:
+    """One strong-scaling table block for matrix order ``n``."""
+    base = solver.predict(n, check_capacity=False)
+    rows = []
+    prev_total = None
+    for g in GPUS:
+        bd = solver.predict(n, ngpu=g, check_capacity=False)
+        if g == 1:
+            # acceptance criterion: ngpu=1 is exactly single-device
+            assert bd.total_s == base.total_s, (bd.total_s, base.total_s)
+            assert bd.comm_s == 0.0
+        else:
+            assert bd.comm_s > 0.0
+        if prev_total is not None:
+            assert bd.total_s < prev_total, f"n={n}: g={g} not faster"
+        prev_total = bd.total_s
+        rows.append(
+            [
+                str(n),
+                str(g),
+                format_seconds(bd.total_s).strip(),
+                f"{base.total_s / bd.total_s:.2f}x",
+                format_seconds(bd.update_s).strip(),
+                format_seconds(bd.comm_s).strip(),
+                f"{bd.comm_s / bd.total_s:5.1%}",
+            ]
+        )
+    return rows
+
+
+def overlap_rows(solver: "repro.Solver", n: int, g: int = 4) -> list:
+    """The ngpu x streams composition at one size."""
+    plain = solver.predict(n, ngpu=g, check_capacity=False)
+    sched = solver.predict(n, ngpu=g, streams=2, check_capacity=False)
+    assert sched.total_s < plain.total_s, "overlap must beat serial pricing"
+    return [
+        [
+            str(n),
+            f"{g} x 1",
+            format_seconds(plain.total_s).strip(),
+            "stage-structured pricing",
+        ],
+        [
+            str(n),
+            f"{g} x 2",
+            format_seconds(sched.total_s).strip(),
+            "device-aware list scheduler",
+        ],
+    ]
+
+
+def run(quick: bool = False) -> str:
+    solver = repro.Solver(backend="h100", precision="fp32")
+    sizes = QUICK_SIZES if quick else SIZES
+    body = []
+    for n in sizes:
+        body.extend(scaling_rows(solver, n))
+    text = format_table(
+        ["n", "gpus", "total", "speedup", "update", "comm", "comm share"],
+        body,
+        title="multi-GPU strong scaling, partitioned LaunchGraph "
+        "(h100 fp32, NVLink)",
+    )
+    over = []
+    for n in sizes:
+        over.extend(overlap_rows(solver, n))
+    text += "\n\n" + format_table(
+        ["n", "gpus x streams", "total", "model"],
+        over,
+        title="ngpu x streams composition: overlap on per-device pools",
+    )
+    text += "\n\n" + format_breakdown(
+        solver.predict(sizes[-1], ngpu=4, check_capacity=False),
+        title=f"comm-vs-compute split at n={sizes[-1]}, 4 GPUs",
+    )
+    return text
+
+
+def test_multi_gpu_scaling(benchmark, solver):
+    from conftest import save_result
+
+    text = run(quick=False)
+    save_result("multi_gpu_scaling", text)
+    benchmark(lambda: solver.predict(8192, ngpu=4, check_capacity=False))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke slice: one small size, no results file",
+    )
+    args = parser.parse_args()
+    print(run(quick=args.quick))

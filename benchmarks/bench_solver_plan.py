@@ -23,7 +23,6 @@ import numpy as np
 
 from conftest import save_result
 from repro.report import format_table
-from repro.sim.costmodel import bidiag_solve_cost, brd_cost
 from repro.sim.schedule import predict_resolved
 
 N = 128

@@ -5,9 +5,6 @@ paper grid), regenerates the table, asserts the per-precision error
 magnitudes, and benchmarks one representative unified solve.
 """
 
-import numpy as np
-import pytest
-
 from conftest import save_result
 from repro.core import svdvals
 from repro.experiments import table1

@@ -4,8 +4,6 @@ Regenerates both parameter studies over the paper's size grid, asserts the
 sign pattern the paper reports, and benchmarks the analytic sweep itself.
 """
 
-import pytest
-
 from conftest import save_result
 from repro.experiments import table3
 

@@ -4,11 +4,8 @@ Aggregates the Figure 3/4 curves exactly as the paper's Table 4 does and
 asserts each entry lands in a loose band around the published value.
 """
 
-import pytest
-
 from conftest import save_result
 from repro.experiments import ratios
-from repro.report import geomean
 
 #: Paper Table 4 geometric means and the acceptance bands of this
 #: reproduction (shape-level match; the substrate is a simulator).

@@ -58,14 +58,21 @@ def multi_gpu_scaling() -> None:
     for n in (8192, 32768):
         t1 = H100.predict(n, check_capacity=False).total_s
         row = [str(n)]
+        comm = 0.0
         for g in (1, 2, 4, 8, 16):
-            t = H100.predict(n, ngpu=g, check_capacity=False).total_s
-            row.append(f"{t1 / t:.2f}x")
+            bd = H100.predict(n, ngpu=g, check_capacity=False)
+            row.append(f"{t1 / bd.total_s:.2f}x")
+            comm = bd.comm_s
+        row.append(format_seconds(comm).strip())
         body.append(row)
     print()
     print(format_table(
-        ["n", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs", "16 GPUs"],
-        body, title="multi-GPU speedup (H100 FP32): panel chain caps scaling",
+        ["n", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs", "16 GPUs",
+         "comm @ 16"],
+        body,
+        title="multi-GPU speedup (H100 FP32, NVLink): predictions are the "
+        "partitioned LaunchGraph - the serial panel chain caps scaling "
+        "and broadcast/boundary comm is priced explicitly",
     ))
 
 

@@ -21,9 +21,11 @@ solve, prediction, and plan:
 run the tall-QR preprocessing and ``(batch, n, n)`` stacks the batched
 driver — while :meth:`Solver.svd` returns full singular vectors and
 :meth:`Solver.predict` prices arbitrary sizes analytically (single-GPU,
-``batch=``, ``ngpu=``, ``out_of_core=True``, or multi-stream lookahead
-overlap with ``streams=k``).  ``method="jacobi"`` runs the one-sided
-Jacobi cross-check through the same handle.
+``batch=``, ``out_of_core=True``, multi-stream lookahead overlap with
+``streams=k``, or ``ngpu=g`` - the launch graph sharded tile-row-wise
+across devices with explicit comm nodes, composable with ``streams=``).
+``method="jacobi"`` runs the one-sided Jacobi cross-check through the
+same handle.
 
 Every driver is backed by one **stage-graph execution engine** (see
 ``ARCHITECTURE.md``): the problem shape is emitted once as a declarative
@@ -78,7 +80,7 @@ from .sim import (
 )
 from .solver import Solver, SvdPlan
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # unified handle surface (the recommended API)

@@ -20,7 +20,7 @@ unified function is specialized per device only through these parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -134,6 +134,25 @@ class Backend:
     def vendor(self) -> str:
         """Vendor string (see :class:`repro.backends.device.Vendor`)."""
         return self.device.vendor
+
+    @property
+    def link(self):
+        """Default peer interconnect of a multi-device node of this part.
+
+        Returns the :class:`~repro.sim.costmodel.LinkSpec` built from the
+        device's link fields (NVLink for datacenter NVIDIA parts, Infinity
+        Fabric on AMD, Xe Link on Intel, PCIe on consumer cards).  The
+        multi-GPU partitioner prices every ``comm`` node against this
+        unless the caller overrides the bandwidth (``link_gbs=``).
+        """
+        from ..sim.costmodel import LinkSpec  # avoid import cycle
+
+        spec = self.device
+        return LinkSpec(
+            name=spec.link_name,
+            bandwidth_gbs=spec.link_gbs,
+            latency_us=spec.link_latency_us,
+        )
 
     def asarray(self, a: np.ndarray, precision: PrecisionLike) -> np.ndarray:
         """Convert host data to this backend's storage dtype (a 'transfer')."""

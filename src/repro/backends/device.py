@@ -74,6 +74,12 @@ class DeviceSpec:
     launch_overhead_us:
         Fixed host-side cost per kernel launch in microseconds.  The fusion
         optimization (Figure 2) exists to amortize exactly this term.
+    link_name / link_gbs / link_latency_us:
+        Peer-to-peer interconnect of a multi-device node built from this
+        part (NVLink / Infinity Fabric / Xe Link / PCIe): per-direction
+        bandwidth in GB/s and one-hop latency in microseconds.  These
+        price the explicit ``comm`` nodes of a partitioned launch graph
+        (see :mod:`repro.sim.partition`).
     max_threads_per_sm / max_blocks_per_sm / registers_per_sm_kb:
         Occupancy limits used by :mod:`repro.sim.occupancy`.
     is_hpc:
@@ -98,6 +104,9 @@ class DeviceSpec:
     fp64_ratio: float = 0.5
     launch_overhead_us: float = 4.0
     mem_efficiency: float = 1.0
+    link_name: str = "pcie4"
+    link_gbs: float = 25.0
+    link_latency_us: float = 8.0
     max_threads_per_sm: int = 2048
     max_blocks_per_sm: int = 32
     registers_per_sm_kb: int = 256
@@ -217,6 +226,9 @@ H100 = register_device(
         warp_size=32,
         fp64_ratio=0.5,
         launch_overhead_us=3.0,
+        link_name="nvlink4",
+        link_gbs=450.0,
+        link_latency_us=2.0,
         is_hpc=True,
         aliases=("nvidia_h100",),
     )
@@ -236,6 +248,9 @@ A100 = register_device(
         warp_size=32,
         fp64_ratio=0.5,
         launch_overhead_us=3.5,
+        link_name="nvlink3",
+        link_gbs=300.0,
+        link_latency_us=2.5,
         is_hpc=True,
         aliases=("nvidia_a100",),
     )
@@ -255,6 +270,9 @@ RTX4060 = register_device(
         warp_size=32,
         fp64_ratio=1.0 / 32.0,
         launch_overhead_us=4.0,
+        link_name="pcie4-x8",
+        link_gbs=16.0,
+        link_latency_us=10.0,
         max_threads_per_sm=1536,
         is_hpc=False,
         aliases=("nvidia_rtx4060", "4060"),
@@ -276,6 +294,9 @@ MI250 = register_device(
         fp64_ratio=1.0,  # CDNA2 matrix-free vector FP64 runs at FP32 rate
         launch_overhead_us=5.0,
         mem_efficiency=0.55,  # dual-GCD HBM2e: lower achieved fraction
+        link_name="infinity-fabric",
+        link_gbs=250.0,
+        link_latency_us=2.5,
         registers_per_sm_kb=512,
         is_hpc=True,
         aliases=("amd_mi250",),
@@ -296,6 +317,9 @@ M1PRO = register_device(
         warp_size=32,
         fp64_ratio=0.0,  # Metal has no FP64 (Figure 5 note)
         launch_overhead_us=8.0,
+        link_name="unified",  # estimate: shared-memory interconnect
+        link_gbs=200.0,
+        link_latency_us=1.0,
         is_hpc=False,
         estimated=True,
         aliases=("m1", "apple_m1", "apple_m1pro", "metal"),
@@ -316,6 +340,9 @@ PVC = register_device(
         warp_size=32,
         fp64_ratio=1.0,
         launch_overhead_us=25.0,  # SYCL queue submission cost
+        link_name="xe-link",
+        link_gbs=160.0,
+        link_latency_us=3.0,
         is_hpc=True,
         aliases=("ponte_vecchio", "intel_pvc", "intel_max"),
     )

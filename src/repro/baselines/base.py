@@ -21,7 +21,7 @@ kernels are the first).
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

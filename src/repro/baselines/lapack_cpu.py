@@ -8,10 +8,8 @@ examples use this baseline to illustrate why GPU offload matters.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..backends.backend import BackendLike
-from ..precision import PrecisionLike, Precision
+from ..precision import Precision, PrecisionLike
 from .base import BaselineLibrary, svd_flops
 
 __all__ = ["LapackCPU"]

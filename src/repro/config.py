@@ -17,7 +17,7 @@ from typing import Optional
 from .backends.backend import Backend, BackendLike, resolve_backend
 from .errors import InvalidParamsError
 from .precision import Precision, PrecisionLike
-from .sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from .sim.costmodel import DEFAULT_COEFFS, CostCoefficients, LinkSpec
 from .sim.params import KernelParams
 from .sim.session import Session
 
@@ -52,6 +52,9 @@ class SolveConfig:
     method: str = "qr"
     jacobi_tol: Optional[float] = None
     jacobi_max_sweeps: int = 60
+    #: Peer interconnect override for multi-GPU prediction; ``None``
+    #: uses the backend's default link (NVLink / Infinity Fabric / ...).
+    link: Optional[LinkSpec] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -68,6 +71,7 @@ class SolveConfig:
         method: str = "qr",
         jacobi_tol: Optional[float] = None,
         jacobi_max_sweeps: int = 60,
+        link: Optional[LinkSpec] = None,
     ) -> "SolveConfig":
         """Resolve and validate every axis of the configuration up front.
 
@@ -103,6 +107,17 @@ class SolveConfig:
             raise InvalidParamsError(
                 f"jacobi_max_sweeps must be positive, got {jacobi_max_sweeps}"
             )
+        if link is not None and not isinstance(link, LinkSpec):
+            raise InvalidParamsError(
+                f"link must be a LinkSpec, got {type(link).__name__}"
+            )
+        if link is not None and (
+            link.bandwidth_gbs <= 0 or link.latency_us < 0
+        ):
+            raise InvalidParamsError(
+                f"link needs positive bandwidth and non-negative latency, "
+                f"got {link}"
+            )
         return cls(
             backend=be,
             precision=prec,
@@ -115,6 +130,7 @@ class SolveConfig:
             method=method,
             jacobi_tol=jacobi_tol,
             jacobi_max_sweeps=int(jacobi_max_sweeps),
+            link=link,
         )
 
     # ------------------------------------------------------------------ #
@@ -146,6 +162,22 @@ class SolveConfig:
                 "Solver with precision='fp16'/'fp32'/'fp64'"
             )
         return self.precision
+
+    def link_spec(self, link_gbs: Optional[float] = None) -> LinkSpec:
+        """The peer interconnect multi-GPU prediction prices against.
+
+        The configured ``link`` axis wins over the backend's default
+        link; a ``link_gbs`` bandwidth override (the historical scaling
+        knob) wins over both.
+        """
+        link = self.link if self.link is not None else self.backend.link
+        if link_gbs is not None:
+            if link_gbs <= 0:
+                raise InvalidParamsError(
+                    f"link_gbs must be a positive bandwidth, got {link_gbs}"
+                )
+            link = link.with_(bandwidth_gbs=float(link_gbs))
+        return link
 
     def session(self, storage: Precision, cost_cache: Optional[dict] = None) -> Session:
         """Fresh tracing session bound to this configuration.

@@ -78,6 +78,11 @@ def emit_band_reduction(
     ``count=r`` (the launch set and charged time are unchanged) so the
     analytic predictor stays O(tiles) on the quadratic unfused schedule;
     counted graphs are not replayable numerically.
+
+    Every node's ``meta`` ends with its sweep index and carries the tile
+    coordinates the multi-GPU partitioner shards by (see
+    :mod:`repro.sim.partition`); changing a meta layout here requires
+    updating the partitioner's per-kind parsing in lock-step.
     """
     nodes: List[LaunchNode] = []
 

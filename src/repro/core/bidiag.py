@@ -20,7 +20,6 @@ All solvers return singular values sorted in descending order as float64.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

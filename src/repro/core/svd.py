@@ -109,6 +109,11 @@ def emit_svd_graph(
     multi-stream overlap, and ``counted=True`` folds the unfused
     TSQRT/TSMQR runs into counted nodes (analytic-only, O(tiles) nodes
     for the quadratic unfused launch schedule).
+
+    The emitted graph is also the input of
+    :func:`repro.sim.partition.partition_graph`, which shards it across
+    devices using the per-kind ``meta`` tile coordinates - counted
+    graphs drop that metadata and therefore cannot be partitioned.
     """
     if n < 1:
         raise ShapeError(f"matrix order must be positive, got {n}")

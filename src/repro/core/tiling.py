@@ -9,7 +9,6 @@ used by the tests (band width, triangularity).
 
 from __future__ import annotations
 
-import math
 from typing import Tuple
 
 import numpy as np

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..errors import ConvergenceError, ShapeError
 from ..sim.session import Session
-from ..kernels import ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr
+from ..kernels import ftsmqr, ftsqrt, geqrt, unmqr
 from .bidiag import _rotg, singular_2x2
 from .tiling import extract_band, ntiles, pad_to_tiles, tile
 

@@ -14,10 +14,9 @@ capacity structure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..backends import resolve_backend
-from ..errors import UnsupportedPrecisionError
 from ..report import format_seconds, format_table
 from ..sim import predict
 from ..tuning import autotune

@@ -13,7 +13,7 @@ timeline.  The paper's two headline observations are regenerated:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..report import format_table
 from ..sim import Stage, predict

@@ -14,7 +14,7 @@ This experiment runs the real numerics; sizes default to a reduced grid
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ per precision and seeded for reproducibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,13 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_seconds", "format_ratio", "geomean"]
+__all__ = [
+    "format_breakdown",
+    "format_table",
+    "format_seconds",
+    "format_ratio",
+    "geomean",
+]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -45,6 +51,30 @@ def format_ratio(r: float) -> str:
     if r >= 10:
         return f"{r:.1f}"
     return f"{r:.2f}"
+
+
+def format_breakdown(bd, title: Optional[str] = None) -> str:
+    """Stage table of a :class:`~repro.sim.TimeBreakdown` with shares.
+
+    Renders the comm-vs-compute split of multi-GPU predictions: every
+    stage (including the ``comm`` component of partitioned runs) gets a
+    row with its simulated time and share of the total, followed by a
+    total row.  Single-device breakdowns simply have no comm row.
+    """
+    rows = []
+    fractions = bd.stage_fractions()
+    for stage, share in fractions.items():
+        seconds = share * bd.total_s
+        rows.append(
+            [stage, format_seconds(seconds).strip(), f"{share:6.1%}"]
+        )
+    rows.append(["total", format_seconds(bd.total_s).strip(), "100.0%"])
+    if title is None:
+        gpus = getattr(bd, "ngpu", 1)
+        title = f"n={bd.n} stage breakdown" + (
+            f" ({gpus} GPUs)" if gpus > 1 else ""
+        )
+    return format_table(["stage", "time", "share"], rows, title=title)
 
 
 def format_table(

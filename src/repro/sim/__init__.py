@@ -14,14 +14,22 @@ from .costmodel import (
     DEFAULT_COEFFS,
     CostCoefficients,
     LaunchCost,
+    LinkSpec,
     bidiag_solve_cost,
     brd_cost,
+    comm_cost,
     panel_cost,
     update_cost,
 )
 from .graph import AnalyticExecutor, LaunchGraph, LaunchNode, NumericExecutor
 from .occupancy import OccupancyInfo, update_occupancy, warp_utilization
 from .params import REFERENCE_PARAMS, KernelParams, param_grid
+from .partition import (
+    check_shard_capacity,
+    partition_graph,
+    price_partitioned,
+    shard_rows,
+)
 from .scaling import predict_multi_gpu, predict_out_of_core
 from .schedule import TimeBreakdown, predict, stage1_launch_count
 from .session import Session
@@ -44,6 +52,7 @@ __all__ = [
     "LaunchGraph",
     "LaunchNode",
     "LaunchRecord",
+    "LinkSpec",
     "NumericExecutor",
     "OccupancyInfo",
     "REFERENCE_PARAMS",
@@ -54,12 +63,17 @@ __all__ = [
     "Tracer",
     "bidiag_solve_cost",
     "brd_cost",
+    "check_shard_capacity",
+    "comm_cost",
     "panel_cost",
     "param_grid",
+    "partition_graph",
     "predict",
     "predict_multi_gpu",
     "predict_out_of_core",
+    "price_partitioned",
     "schedule_streams",
+    "shard_rows",
     "stage1_launch_count",
     "update_cost",
     "update_occupancy",

@@ -39,13 +39,15 @@ from dataclasses import dataclass, replace
 
 from ..backends.device import DeviceSpec
 from ..precision import Precision
-from .occupancy import update_occupancy, warp_utilization
+from .occupancy import update_occupancy
 from .params import KernelParams
 
 __all__ = [
     "CostCoefficients",
     "DEFAULT_COEFFS",
     "LaunchCost",
+    "LinkSpec",
+    "comm_cost",
     "panel_cost",
     "update_cost",
     "brd_cost",
@@ -135,6 +137,60 @@ class LaunchCost:
 
 
 ZERO_COST = LaunchCost(0.0)
+
+
+# --------------------------------------------------------------------- #
+# device-to-device interconnect
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LinkSpec:
+    """Peer-to-peer interconnect of a multi-device node.
+
+    ``bandwidth_gbs`` is the per-direction peer bandwidth of one link
+    (NVLink / Infinity Fabric / Xe Link / PCIe, per the device's
+    :attr:`~repro.backends.device.DeviceSpec.link_name`);
+    ``latency_us`` is the one-hop message latency.  The partitioned
+    execution model prices every explicit ``comm`` node of a sharded
+    :class:`~repro.sim.graph.LaunchGraph` against one of these.
+    """
+
+    name: str
+    bandwidth_gbs: float
+    latency_us: float
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        """Per-direction link bandwidth in bytes/second."""
+        return self.bandwidth_gbs * 1e9
+
+    @property
+    def latency_s(self) -> float:
+        """One-hop message latency in seconds."""
+        return self.latency_us * 1e-6
+
+    def with_(self, **kwargs) -> "LinkSpec":
+        """Copy with selected link parameters replaced."""
+        return replace(self, **kwargs)
+
+
+def comm_cost(link: LinkSpec, nbytes: float, hops: int = 1) -> LaunchCost:
+    """Price one device-to-device communication on the critical path.
+
+    ``hops`` is the serialized stage count (1 for a point-to-point
+    gather/exchange, ``ceil(log2(g))`` for a tree broadcast to ``g``
+    peers); each hop pays the link latency plus the payload transfer, so
+    ``seconds = hops * (latency + nbytes / bandwidth)``.  ``bytes``
+    reports the critical-path link traffic (payload per hop).
+    """
+    if nbytes < 0:
+        raise ValueError(f"communication payload must be >= 0, got {nbytes}")
+    hops = max(1, int(hops))
+    seconds = hops * (link.latency_s + nbytes / link.bandwidth_bytes)
+    return LaunchCost(
+        seconds=seconds,
+        bytes=nbytes * hops,
+        memory_seconds=seconds,
+    )
 
 
 # --------------------------------------------------------------------- #

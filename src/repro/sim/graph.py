@@ -51,14 +51,16 @@ numeric executor rejects them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .costmodel import (
     LaunchCost,
+    LinkSpec,
     ZERO_COST,
     bidiag_solve_cost,
     brd_cost,
+    comm_cost,
     panel_cost,
     update_cost,
 )
@@ -66,6 +68,7 @@ from .tracing import Stage
 
 __all__ = [
     "AnalyticExecutor",
+    "COMM_KINDS",
     "LaunchGraph",
     "LaunchNode",
     "NumericExecutor",
@@ -73,8 +76,15 @@ __all__ = [
     "price_node",
 ]
 
-#: Cost-key families charged without a device launch overhead (CPU-side).
-_CPU_FAMILIES = ("solve", "solve_b")
+#: Cost-key families charged without a GPU launch overhead: CPU-side
+#: launches and link transfers (whose latency term lives in the cost).
+_NO_OVERHEAD_FAMILIES = ("solve", "solve_b", "comm")
+
+#: Node kinds of the explicit communication launches a partitioned graph
+#: carries (see :mod:`repro.sim.partition`).  They move data between
+#: devices, never compute, and are numeric no-ops on the shared-memory
+#: simulation fabric.
+COMM_KINDS = ("panel_bcast", "boundary_x", "band_gather")
 
 
 @dataclass(slots=True)
@@ -101,6 +111,9 @@ class LaunchNode:
     #: Identical consecutive launches folded into one node (counted
     #: analytic graphs only; replayable graphs always emit count=1).
     count: int = 1
+    #: Owning device of a partitioned graph (``None`` = unpartitioned;
+    #: set by :func:`repro.sim.partition.partition_graph`).
+    device: Optional[int] = None
 
 
 @dataclass
@@ -121,6 +134,10 @@ class LaunchGraph:
     streams: int = 1
     batch: Optional[int] = None
     mpad: Optional[int] = None  # row padding of tall-QR graphs
+    #: Device count of a partitioned graph (1 = single device).  Graphs
+    #: with ``ngpu > 1`` carry per-node ``device`` assignments and
+    #: explicit :data:`COMM_KINDS` nodes.
+    ngpu: int = 1
     #: True when identical consecutive launches are folded into counted
     #: nodes (analytic-only; keeps the unfused O(tiles^2) launch schedule
     #: priceable in O(tiles) nodes, like the pre-graph closed form).
@@ -212,6 +229,15 @@ def price_node(
             flops=one.flops * batch,
             compute_seconds=one.compute_seconds * batch,
         )
+    elif family == "comm":
+        # self-contained key: (elems, hops, link GB/s, link latency us) so
+        # the same memo serves any link override (see partition_graph)
+        elems, hops, link_gbs, latency_us = key[1], key[2], key[3], key[4]
+        cost = comm_cost(
+            LinkSpec("link", link_gbs, latency_us),
+            elems * storage.sizeof,
+            hops=hops,
+        )
     else:  # pragma: no cover - emitter bug
         raise ValueError(f"unknown launch-cost family {family!r}")
     if cache is not None:
@@ -220,8 +246,8 @@ def price_node(
 
 
 def node_overhead_s(node: LaunchNode, spec) -> float:
-    """Launch overhead charged for one node (0 for CPU-side launches)."""
-    if node.key[0] in _CPU_FAMILIES:
+    """Launch overhead charged for one node (0 for CPU/link launches)."""
+    if node.key[0] in _NO_OVERHEAD_FAMILIES:
         return 0.0
     return spec.launch_overhead_s
 
@@ -293,9 +319,11 @@ class AnalyticExecutor:
             update_s=stage_total(Stage.UPDATE),
             brd_s=stage_total(Stage.BRD),
             solve_s=stage_total(Stage.SOLVE),
+            comm_s=stage_total(Stage.COMM),
             launches=launches,
             flops=flops,
             bytes=nbytes,
+            ngpu=graph.ngpu,
         )
 
 
@@ -311,6 +339,13 @@ class NumericExecutor:
     through ``session`` (when given) with the same cost keys the graph
     carries, so a plan-shared ``Session.cost_cache`` is hit, never
     re-priced.
+
+    Partitioned graphs (``ngpu > 1``) replay too: each sharded update
+    chunk runs against its device's tile-row views of the shared
+    workspace (the per-device buffers of the simulated fabric), comm
+    nodes are numeric no-ops, and the chunk order equals the monolithic
+    row order - so partitioned replay is bitwise identical to the
+    single-device run (pinned in ``tests/test_partition.py``).
 
     Stage-1-only node lists (from ``emit_band_reduction`` /
     ``emit_tallqr_graph``) need no ``storage``/``stage3``; full square
@@ -340,17 +375,24 @@ class NumericExecutor:
         self.stage3 = stage3
         self._np = np
         self._tau0: Dict[int, object] = {}
-        self._taus: Dict[int, list] = {}
+        #: sweep -> (first row, stop row, tau list) of the live FTSQRT
+        #: output; partitioned graphs consume it chunk by chunk.
+        self._taus: Dict[int, Tuple[int, int, list]] = {}
         self._tau1: Dict[Tuple[int, int], object] = {}
+        #: sweep -> compute-precision copy of the pivot tile row, kept
+        #: resident across the row chunks of one fused update launch.
+        self._ylive: Dict[int, object] = {}
         self.d = None
         self.e = None
         self.values = None
         # kernels are imported lazily: repro.core and repro.kernels import
         # this module at load time, so a module-level import would cycle.
         from ..kernels import ftsmqr, ftsqrt, geqrt, tsmqr, tsqrt, unmqr
+        from ..kernels.tsmqr import tsmqr_body
         from ..core.tiling import extract_band, tile
 
         self._k = (geqrt, unmqr, ftsqrt, ftsmqr, tsqrt, tsmqr)
+        self._tsmqr_body = tsmqr_body
         self._tile = tile
         self._extract_band = extract_band
 
@@ -409,22 +451,48 @@ class NumericExecutor:
             B = self._view(lq)
             diag = tile(B, row, col, ts)
             taus = [self._zeros_tau() for _ in range(rows[0], rows[1])]
-            self._taus[sweep] = taus
+            self._taus[sweep] = (rows[0], rows[1], taus)
             Bs = [tile(B, l, col, ts) for l in range(rows[0], rows[1])]
             ftsqrt(diag, Bs, taus, self.eps, self.compute_dtype)
             if self.session is not None:
                 self.session.launch_panel(kind, *node.key[1:])
         elif kind == "ftsmqr":
+            # `rows` may be a sub-range of the FTSQRT rows: a partitioned
+            # graph shards one fused update into per-device row chunks,
+            # replayed in row order (the inherent chain through Y)
             lq, row, col, rows, c0t, off, cw, sweep = node.meta
             B = self._view(lq)
             c0 = c0t * ts + off
-            Bs = [tile(B, l, col, ts) for l in range(rows[0], rows[1])]
+            base, stop, taus = self._taus[sweep]
+            lo, hi = rows
+            tau_slice = taus[lo - base : hi - base]
+            Bs = [tile(B, l, col, ts) for l in range(lo, hi)]
             Y = B[row * ts : (row + 1) * ts, c0 : c0 + cw]
             Xs = [
-                B[l * ts : (l + 1) * ts, c0 : c0 + cw]
-                for l in range(rows[0], rows[1])
+                B[l * ts : (l + 1) * ts, c0 : c0 + cw] for l in range(lo, hi)
             ]
-            ftsmqr(Bs, self._taus.pop(sweep), Y, Xs, self.compute_dtype)
+            if self.compute_dtype is None or Y.dtype == self.compute_dtype:
+                ftsmqr(Bs, tau_slice, Y, Xs, self.compute_dtype)
+            else:
+                # the real fused kernel keeps Y resident in compute
+                # precision for the *whole* launch; carrying the live copy
+                # across row chunks keeps sharded replay bitwise identical
+                # to the monolithic launch
+                Yw = self._ylive.get(sweep)
+                if Yw is None:
+                    Yw = Y.astype(self.compute_dtype)
+                    self._ylive[sweep] = Yw
+                body = self._tsmqr_body
+                for V, tau, X in zip(Bs, tau_slice, Xs):
+                    Xw = X.astype(self.compute_dtype)
+                    body(V.astype(self.compute_dtype), tau, Yw, Xw)
+                    X[...] = Xw
+                if hi == stop:
+                    Y[...] = Yw
+                    del self._ylive[sweep]
+            if hi == stop:
+                # last chunk: the sweep's tau registers are fully consumed
+                del self._taus[sweep]
             if self.session is not None:
                 self.session.launch_update(kind, *node.key[1:])
         elif kind == "tsqrt":
@@ -471,6 +539,11 @@ class NumericExecutor:
             d = self.d.astype(self.storage.dtype).astype(np.float64)
             e = self.e.astype(self.storage.dtype).astype(np.float64)
             self.values = svdvals_bidiag(d, e, method=self.stage3)
+        elif kind in COMM_KINDS:
+            # pure data movement: a numeric no-op on the simulation's
+            # shared-memory fabric, but traced and priced like a launch
+            if self.session is not None:
+                self.session.launch_comm(kind, node.key)
         else:  # pragma: no cover - emitter bug
             raise ValueError(f"unknown launch kind {kind!r}")
 

@@ -1,0 +1,375 @@
+"""Graph partitioner: shard a LaunchGraph across devices, comm explicit.
+
+The paper's stated future work is multi-GPU scaling; before PR 3 the
+reproduction modeled it with a closed-form formula in
+:mod:`repro.sim.scaling` that never touched the launch graph, so the
+graph engine and the scaling model could silently diverge.  This module
+makes multi-device execution a first-class axis of the stage-graph
+engine instead: :func:`partition_graph` takes any replayable square
+:class:`~repro.sim.graph.LaunchGraph` and shards it **tile-row-wise**
+across ``g`` devices, producing a graph in the same IR whose nodes carry
+a ``device`` assignment and whose inter-device data movement is explicit
+:data:`~repro.sim.graph.COMM_KINDS` nodes priced by the
+:class:`~repro.sim.costmodel.LinkSpec` cost model:
+
+* the panel chain of each sweep (GEQRT + UNMQR + (F)TSQRT) stays on the
+  sweep's owner device (it is the serial critical path; ownership
+  rotates ``k % g`` like a block-cyclic panel distribution);
+* every fused trailing update is split into per-device row chunks, one
+  per contiguous shard of the sweep's active tile rows.  The chunks are
+  modeled as concurrent (each device applies the received panel to its
+  shard; the tile-level chain through the pivot row pipelines across the
+  column grid), while numeric replay runs them in row order so results
+  stay bitwise identical to the single-device run;
+* a ``panel_bcast`` node per sweep ships the factored panel (reflector
+  tiles + taus) to the peers over a ``ceil(log2 g)``-hop tree;
+* a ``boundary_x`` node per sweep hands the updated panel column of the
+  *next* sweep to its owner (the shard boundary exchange);
+* one ``band_gather`` node collects the reduced band onto device 0,
+  where stages 2-3 run single-device (the paper defers their
+  distribution).
+
+``partition_graph(graph, 1)`` is a structural no-op: it returns the very
+same graph object, with zero comm nodes - so single-device pricing is
+reproduced exactly.
+
+:func:`price_partitioned` prices a partitioned graph into the familiar
+:class:`~repro.sim.schedule.TimeBreakdown`: serial stages accumulate in
+node order (float-identical to the single-device accounting), the update
+stage charges the per-sweep maximum over devices (the concurrent-shard
+critical path), and communication is reported as its own ``comm_s``
+component.  :func:`check_shard_capacity` is the multi-device analogue of
+``Backend.check_capacity``: each device must hold its tile-row shard
+plus a panel copy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CapacityError, ShapeError
+from .costmodel import LinkSpec
+from .graph import LaunchGraph, LaunchNode, node_overhead_s, price_node
+from .schedule import TimeBreakdown
+from .tracing import Stage
+
+__all__ = [
+    "check_shard_capacity",
+    "partition_graph",
+    "price_partitioned",
+    "shard_rows",
+]
+
+#: Stage-1 kinds that run on the sweep owner's device (serial chain).
+_PANEL_CHAIN_KINDS = ("geqrt", "ftsqrt", "tsqrt")
+
+
+def shard_rows(lo: int, hi: int, ngpu: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced shards of the tile-row range ``[lo, hi)``.
+
+    Returns at most ``ngpu`` non-empty ``(start, stop)`` chunks; when the
+    range has fewer rows than devices, the surplus devices simply receive
+    no shard (the ``ngpu >= tile rows`` degenerate case).
+    """
+    rows = hi - lo
+    if rows <= 0:
+        return []
+    parts = min(ngpu, rows)
+    base, extra = divmod(rows, parts)
+    chunks = []
+    start = lo
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        chunks.append((start, stop))
+        start = stop
+    return chunks
+
+
+def check_shard_capacity(n: int, config, ngpu: int) -> None:
+    """Raise :class:`CapacityError` if a shard exceeds per-device memory.
+
+    Each device of a tile-row partition holds its shard of the padded
+    matrix (``ceil(nbt / g)`` tile rows x ``npad`` columns) plus one
+    panel copy (``npad x ts``, the broadcast landing buffer), with the
+    same 1.25 working-set factor the single-device capacity model uses.
+    ``ngpu=1`` delegates to ``Backend.check_capacity`` exactly.
+    """
+    from ..core.tiling import ntiles
+
+    storage = config.require_precision("multi-GPU prediction")
+    if ngpu == 1:
+        config.backend.check_capacity(n, storage)
+        return
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    shard_rows_n = math.ceil(nbt / ngpu) * ts
+    shard_bytes = (shard_rows_n * npad + npad * ts) * storage.sizeof * 1.25
+    spec = config.backend.device
+    if shard_bytes > spec.mem_bytes:
+        raise CapacityError(
+            f"{n}x{n} {storage.name} matrix sharded over {ngpu} devices "
+            f"needs {shard_bytes / 2**30:.1f} GiB per device; "
+            f"{config.backend.name} has {spec.mem_gb} GiB "
+            f"(use more devices or a smaller matrix)"
+        )
+
+
+def partition_graph(
+    graph: LaunchGraph, ngpu: int, link: Optional[LinkSpec] = None
+) -> LaunchGraph:
+    """Shard a replayable square launch graph across ``ngpu`` devices.
+
+    Returns a new :class:`LaunchGraph` with ``ngpu`` set, per-node
+    ``device`` assignments, per-device row-chunked update launches and
+    explicit comm nodes priced against ``link``.  ``ngpu=1`` returns
+    ``graph`` itself, untouched (structural no-op).  Counted graphs
+    cannot be partitioned (their folded nodes carry no tile metadata);
+    multi-stream graphs can - the column chunks of the lookahead variant
+    compose with the row chunks of the device shards.
+    """
+    if ngpu < 1:
+        raise ShapeError(f"need at least one device, got {ngpu}")
+    if ngpu == 1:
+        return graph
+    if graph.counted:
+        raise ValueError(
+            "counted graphs fold launch runs without tile metadata and "
+            "cannot be partitioned; emit with counted=False"
+        )
+    if graph.kind != "square":
+        raise ValueError(
+            f"only square solve graphs can be partitioned, got {graph.kind!r}"
+        )
+    if link is None:
+        raise ValueError("partitioning across devices requires a LinkSpec")
+
+    ts, nbt, npad = graph.ts, graph.nbt, graph.npad
+    bw, lat = link.bandwidth_gbs, link.latency_us
+    bcast_hops = max(1, math.ceil(math.log2(ngpu)))
+    remote = (ngpu - 1) / ngpu  # fraction of a shared volume held remotely
+
+    nodes = graph.nodes
+    new_nodes: List[LaunchNode] = []
+    #: old node index -> indices of its partitioned replacements
+    mapped: List[Tuple[int, ...]] = []
+    bcast_idx: Dict[int, int] = {}  # sweep -> panel_bcast node index
+    band_gathered = False
+
+    def add(node: LaunchNode) -> int:
+        new_nodes.append(node)
+        return len(new_nodes) - 1
+
+    def mdeps(node: LaunchNode) -> Tuple[int, ...]:
+        seen: List[int] = []
+        for d in node.deps:
+            for m in mapped[d]:
+                if m not in seen:
+                    seen.append(m)
+        return tuple(seen)
+
+    def comm(kind: str, elems: int, hops: int, deps, device: int) -> int:
+        return add(
+            LaunchNode(
+                kind,
+                Stage.COMM,
+                ("comm", int(elems), hops, bw, lat),
+                deps=tuple(deps),
+                device=device,
+            )
+        )
+
+    for node in nodes:
+        kind = node.kind
+        deps = mdeps(node)
+        if kind == "geqrt":
+            lq, row0, k, sweep = node.meta
+            owner = k % ngpu
+            if deps:
+                # shard boundary exchange: the new panel column was
+                # updated on every device; its owner gathers the remote
+                # tiles before factoring
+                height = nbt - row0
+                elems = math.ceil(height * remote) * ts * ts
+                b = comm("boundary_x", elems, 1, deps, owner)
+                deps = (*deps, b)
+            i = add(
+                LaunchNode(kind, node.stage, node.key, node.meta, deps,
+                           device=owner)
+            )
+            r = nbt - row0 - 1
+            if not graph.fused and r > 0:
+                # unfused sweeps pipeline per-row TSQRT outputs; model the
+                # panel shipment as one broadcast issued with the chain
+                elems = (r + 1) * (ts * ts + ts)
+                bcast_idx[sweep] = comm(
+                    "panel_bcast", elems, bcast_hops, (i,), owner
+                )
+        elif kind == "ftsqrt":
+            lq, row0, k, rows, sweep = node.meta
+            owner = k % ngpu
+            i = add(
+                LaunchNode(kind, node.stage, node.key, node.meta, deps,
+                           device=owner)
+            )
+            r = rows[1] - rows[0]
+            elems = (r + 1) * (ts * ts + ts)
+            bcast_idx[sweep] = comm(
+                "panel_bcast", elems, bcast_hops, (i,), owner
+            )
+        elif kind == "tsqrt":
+            lq, row0, k, l, sweep = node.meta
+            i = add(
+                LaunchNode(kind, node.stage, node.key, node.meta, deps,
+                           device=k % ngpu)
+            )
+        elif kind == "unmqr":
+            lq, row0, k, c0t, off, cw, sweep = node.meta
+            i = add(
+                LaunchNode(kind, node.stage, node.key, node.meta, deps,
+                           device=k % ngpu)
+            )
+        elif kind == "tsmqr":
+            lq, row0, k, l, c0t, off, cw, sweep = node.meta
+            owner = k % ngpu
+            chunks = shard_rows(row0 + 1, nbt, ngpu)
+            dev = owner
+            for ci, (a, b) in enumerate(chunks):
+                if a <= l < b:
+                    dev = (owner + ci) % ngpu
+                    break
+            bc = bcast_idx.get(sweep)
+            if dev != owner and bc is not None:
+                deps = (*deps, bc)
+            i = add(
+                LaunchNode(kind, node.stage, node.key, node.meta, deps,
+                           device=dev)
+            )
+        elif kind == "ftsmqr":
+            lq, row0, k, rows, c0t, off, cw, sweep = node.meta
+            owner = k % ngpu
+            bc = bcast_idx.get(sweep)
+            parts: List[int] = []
+            for ci, (a, b) in enumerate(shard_rows(rows[0], rows[1], ngpu)):
+                dev = (owner + ci) % ngpu
+                cdeps = deps
+                if dev != owner and bc is not None:
+                    cdeps = (*deps, bc)
+                parts.append(
+                    add(
+                        LaunchNode(
+                            kind,
+                            node.stage,
+                            ("update", cw, b - a, True),
+                            (lq, row0, k, (a, b), c0t, off, cw, sweep),
+                            cdeps,
+                            device=dev,
+                        )
+                    )
+                )
+            mapped.append(tuple(parts))
+            continue
+        elif kind == "brd_chase":
+            if not band_gathered:
+                band_gathered = True
+                elems = math.ceil(npad * (ts + 1) * remote)
+                g = comm("band_gather", elems, 1, deps, 0)
+                deps = (*deps, g)
+            i = add(
+                LaunchNode(
+                    kind, node.stage, node.key, node.meta, deps,
+                    primary=node.primary, device=0,
+                )
+            )
+        else:  # bdsqr_cpu (and any future single-device tail)
+            i = add(
+                LaunchNode(kind, node.stage, node.key, node.meta, deps,
+                           primary=node.primary, device=0)
+            )
+        mapped.append((i,))
+
+    return LaunchGraph(
+        nodes=new_nodes,
+        kind=graph.kind,
+        n=graph.n,
+        npad=npad,
+        ts=ts,
+        nbt=nbt,
+        fused=graph.fused,
+        streams=graph.streams,
+        batch=graph.batch,
+        mpad=graph.mpad,
+        ngpu=ngpu,
+    )
+
+
+def price_partitioned(
+    graph: LaunchGraph,
+    config,
+    storage,
+    cache: Optional[dict] = None,
+) -> TimeBreakdown:
+    """Price a partitioned graph into a :class:`TimeBreakdown`.
+
+    Serial stages (panel chain, stage 2/3) accumulate in node order with
+    the exact accounting of the
+    :class:`~repro.sim.graph.AnalyticExecutor`, so their seconds are
+    float-identical to the single-device prediction.  The update stage
+    charges, per sweep, the maximum over devices of that device's update
+    time (concurrent shards; the launch-granularity stand-in for the
+    column-pipelined overlap), and every comm node lands in ``comm_s``.
+    Launch counts come from the partitioned graph itself.
+    """
+    spec = config.backend.device
+    compute = config.backend.compute_precision(storage)
+    if cache is None:
+        cache = {}
+
+    cost_s: Dict[str, float] = {}
+    over_s: Dict[str, float] = {}
+    launches: Dict[str, int] = {}
+    flops = 0.0
+    nbytes = 0.0
+    # sweep -> device -> accumulated update seconds (incl. overheads)
+    sweep_update: Dict[int, Dict[int, float]] = {}
+    sweep_order: List[int] = []
+
+    for node in graph.nodes:
+        cost = price_node(node, config, storage, compute, cache)
+        overhead = node_overhead_s(node, spec)
+        flops += cost.flops
+        nbytes += cost.bytes
+        launches[node.kind] = launches.get(node.kind, 0) + node.count
+        stage = node.stage
+        if stage == Stage.UPDATE and graph.ngpu > 1:
+            sweep = node.meta[-1]
+            per_dev = sweep_update.get(sweep)
+            if per_dev is None:
+                per_dev = sweep_update[sweep] = {}
+                sweep_order.append(sweep)
+            dev = node.device or 0
+            per_dev[dev] = per_dev.get(dev, 0.0) + cost.seconds + overhead
+        else:
+            cost_s[stage] = cost_s.get(stage, 0.0) + cost.seconds
+            over_s[stage] = over_s.get(stage, 0.0) + overhead
+
+    update_s = cost_s.get(Stage.UPDATE, 0.0) + over_s.get(Stage.UPDATE, 0.0)
+    for sweep in sweep_order:
+        update_s += max(sweep_update[sweep].values())
+
+    def stage_total(stage: str) -> float:
+        return cost_s.get(stage, 0.0) + over_s.get(stage, 0.0)
+
+    return TimeBreakdown(
+        n=graph.n,
+        panel_s=stage_total(Stage.PANEL),
+        update_s=update_s,
+        brd_s=stage_total(Stage.BRD),
+        solve_s=stage_total(Stage.SOLVE),
+        comm_s=stage_total(Stage.COMM),
+        launches=launches,
+        flops=flops,
+        bytes=nbytes,
+        ngpu=graph.ngpu,
+    )

@@ -10,10 +10,13 @@ can be explored ahead of a kernel port:
   exceeds device memory: panels stay resident while trailing tile rows
   stream over the host link, bounding throughput by
   ``min(device roofline, PCIe bandwidth x arithmetic intensity)``;
-* :func:`predict_multi_gpu` prices a tile-row partitioned multi-GPU stage
-  1: trailing updates scale with the device count, the panel chain stays
-  serial (it is the critical path), and every sweep broadcasts the panel
-  to all peers.
+* :func:`predict_multi_gpu` prices a tile-row partitioned multi-GPU
+  stage 1 through the graph path: the emitted launch graph is sharded by
+  :func:`repro.sim.partition.partition_graph` (explicit comm nodes,
+  per-device update chunks, serial panel chain) and priced by
+  :func:`~repro.sim.partition.price_partitioned`.  The pre-partitioner
+  closed form survives as :func:`multi_gpu_closed_form_resolved`, the
+  consistency oracle the tests pin the graph path against.
 
 Both return the same :class:`~repro.sim.schedule.TimeBreakdown` used by
 the single-GPU model, so all reporting utilities apply.
@@ -25,13 +28,17 @@ import math
 from typing import Optional
 
 from ..backends.backend import BackendLike
-from ..errors import CapacityError, ShapeError
+from ..errors import ShapeError
 from ..precision import PrecisionLike
 from .costmodel import DEFAULT_COEFFS, CostCoefficients
 from .params import KernelParams
 from .schedule import TimeBreakdown, predict_resolved
 
-__all__ = ["predict_out_of_core", "predict_multi_gpu"]
+__all__ = [
+    "multi_gpu_closed_form_resolved",
+    "predict_multi_gpu",
+    "predict_out_of_core",
+]
 
 
 def predict_out_of_core_resolved(n: int, config) -> TimeBreakdown:
@@ -100,13 +107,20 @@ def predict_out_of_core(
     return solver.predict(n, out_of_core=True)
 
 
-def predict_multi_gpu_resolved(
+def multi_gpu_closed_form_resolved(
     n: int, config, ngpus: int, link_gbs: float = 100.0
 ) -> TimeBreakdown:
-    """Multi-GPU prediction against a resolved ``SolveConfig``.
+    """Legacy closed-form multi-GPU model (kept as a consistency oracle).
 
-    The single shared code path behind :meth:`repro.Solver.predict` with
-    ``ngpu=`` and the legacy :func:`predict_multi_gpu` shim.
+    This was the pre-partitioner scaling model: trailing updates divide
+    by the device count, the panel chain stays serial, and every sweep
+    broadcasts its full panel column over a ``log2(g)``-deep tree.  The
+    graph path (:func:`repro.sim.partition.partition_graph` +
+    :func:`~repro.sim.partition.price_partitioned`) replaced it;
+    ``tests/test_partition.py`` pins the two models against each other
+    within tolerance on this formula's modeled regime (large,
+    update-dominated sizes), so the partitioned pricing cannot silently
+    drift from the physics the closed form encodes.
     """
     if ngpus < 1:
         raise ShapeError(f"need at least one GPU, got {ngpus}")
@@ -131,15 +145,47 @@ def predict_multi_gpu_resolved(
     out = TimeBreakdown(
         n=n,
         panel_s=bd.panel_s,  # serial critical path
-        update_s=bd.update_s / ngpus + comm_seconds,
+        update_s=bd.update_s / ngpus,
+        comm_s=comm_seconds,
         brd_s=bd.brd_s,
         solve_s=bd.solve_s,
         launches=dict(bd.launches),
         flops=bd.flops,
         bytes=bd.bytes,
+        ngpu=ngpus,
     )
     out.launches["panel_bcast"] = 2 * (nbt - 1)
     return out
+
+
+def predict_multi_gpu_resolved(
+    n: int, config, ngpus: int, link_gbs: Optional[float] = None
+) -> TimeBreakdown:
+    """Multi-GPU prediction against a resolved ``SolveConfig``.
+
+    Since the partitioner landed this is a thin shim over the graph
+    path: emit the single-device launch graph, shard it tile-row-wise
+    across ``ngpus`` devices with explicit comm nodes, and price the
+    partitioned graph (launch counts come from that graph; comm time is
+    its own :class:`TimeBreakdown` component).  ``ngpus=1`` reproduces
+    the single-device pricing exactly.  The single shared code path
+    behind :meth:`repro.Solver.predict` with ``ngpu=`` and the legacy
+    :func:`predict_multi_gpu` shim.
+    """
+    if ngpus < 1:
+        raise ShapeError(f"need at least one GPU, got {ngpus}")
+    storage = config.require_precision("multi-GPU prediction")
+    if ngpus == 1:
+        return predict_resolved(n, config, check_capacity=False)
+
+    # the emitter lives with the drivers; lazy import keeps repro.sim
+    # importable before repro.core
+    from ..core.svd import emit_svd_graph
+    from .partition import partition_graph, price_partitioned
+
+    graph = emit_svd_graph(n, config)
+    pgraph = partition_graph(graph, ngpus, config.link_spec(link_gbs))
+    return price_partitioned(pgraph, config, storage)
 
 
 def predict_multi_gpu(
@@ -153,18 +199,21 @@ def predict_multi_gpu(
 ) -> TimeBreakdown:
     """Predict stage-1 scaling over ``ngpus`` identical devices.
 
-    Tile rows are block-cyclically distributed: trailing updates divide by
-    the device count, the panel factorization chain stays serial (one
-    device owns each panel), and each sweep broadcasts its panel tiles
-    (``~2 n ts`` elements) over the interconnect.  Stages 2-3 remain
-    single-device (they are small; the paper defers their distribution to
-    the Dagger integration it envisions).
+    The launch graph is sharded tile-row-wise: trailing-update launches
+    split into concurrent per-device chunks, the panel factorization
+    chain stays serial (ownership rotates per sweep), and each sweep
+    broadcasts its panel tiles and exchanges the shard boundary over the
+    interconnect as explicit comm launches.  Stages 2-3 remain
+    single-device after a band gather (they are small; the paper defers
+    their distribution to the Dagger integration it envisions).
 
     Amdahl's law emerges naturally: speedup saturates once the serial
     panel chain dominates.  Thin shim over :class:`repro.Solver`.
     """
     from ..solver import Solver
 
+    if ngpus < 1:  # the historical shim contract raises ShapeError
+        raise ShapeError(f"need at least one GPU, got {ngpus}")
     solver = Solver(
         backend=backend, precision=precision, params=params, coeffs=coeffs
     )

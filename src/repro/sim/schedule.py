@@ -41,6 +41,10 @@ class TimeBreakdown:
 
     ``panel_s`` / ``update_s`` / ``brd_s`` / ``solve_s`` include the launch
     overheads of their own kernels, matching the tracer's accounting.
+    ``comm_s`` is the device-to-device communication time of partitioned
+    (``ngpu > 1``) predictions — zero on single-device runs; for
+    partitioned predictions ``update_s`` is the per-device critical path
+    (the concurrent shards' maximum), not the serial shard sum.
     """
 
     n: int
@@ -48,14 +52,19 @@ class TimeBreakdown:
     update_s: float = 0.0
     brd_s: float = 0.0
     solve_s: float = 0.0
+    comm_s: float = 0.0
     launches: Dict[str, int] = field(default_factory=dict)
     flops: float = 0.0
     bytes: float = 0.0
+    ngpu: int = 1
 
     @property
     def total_s(self) -> float:
         """End-to-end simulated seconds."""
-        return self.panel_s + self.update_s + self.brd_s + self.solve_s
+        return (
+            self.panel_s + self.update_s + self.brd_s + self.solve_s
+            + self.comm_s
+        )
 
     @property
     def stage1_s(self) -> float:
@@ -72,12 +81,15 @@ class TimeBreakdown:
         t = self.total_s
         if t <= 0.0:
             return {}
-        return {
+        out = {
             Stage.PANEL: self.panel_s / t,
             Stage.UPDATE: self.update_s / t,
             Stage.BRD: self.brd_s / t,
             Stage.SOLVE: self.solve_s / t,
         }
+        if self.comm_s > 0.0:
+            out[Stage.COMM] = self.comm_s / t
+        return out
 
 
 def stage1_launch_count(nbtiles: int, fused: bool = True) -> int:

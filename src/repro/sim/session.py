@@ -22,9 +22,11 @@ from .costmodel import (
     DEFAULT_COEFFS,
     CostCoefficients,
     LaunchCost,
+    LinkSpec,
     bidiag_solve_cost,
     brd_cost,
     brd_launch_count,
+    comm_cost,
     panel_cost,
     transfer_cost,
     update_cost,
@@ -176,6 +178,29 @@ class Session:
         self.tracer.record(
             LaunchRecord(
                 kernel="bdsqr_cpu", stage=Stage.SOLVE, cost=cost, overhead_s=0.0
+            )
+        )
+
+    def launch_comm(self, kernel: str, key: Tuple) -> None:
+        """Record a device-to-device transfer of a partitioned graph.
+
+        ``key`` is the node's self-contained ``("comm", elems, hops,
+        link_gbs, latency_us)`` cost key (see
+        :func:`repro.sim.graph.price_node`), shared with the analytic
+        pricer through the cost cache.
+        """
+        _, elems, hops, link_gbs, latency_us = key
+        cost = self._cached(
+            key,
+            lambda: comm_cost(
+                LinkSpec("link", link_gbs, latency_us),
+                elems * self.storage.sizeof,
+                hops=hops,
+            ),
+        )
+        self.tracer.record(
+            LaunchRecord(
+                kernel=kernel, stage=Stage.COMM, cost=cost, overhead_s=0.0
             )
         )
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 
 from ..report import format_seconds, format_table
 from .graph import LaunchGraph, node_overhead_s, price_node
-from .tracing import Tracer
+from .tracing import Stage, Tracer
 
 __all__ = [
     "StreamSchedule",
@@ -112,13 +112,19 @@ def kernel_summary(tracer: Tracer) -> List[Dict[str, object]]:
 
 @dataclass
 class StreamSchedule:
-    """Result of scheduling a launch graph across ``streams`` streams.
+    """Result of scheduling a launch graph across streams (and devices).
 
     ``makespan_s`` is the overlapped end-to-end time (what ``total_s``
     reports); ``serial_s`` is the same graph executed on one stream, so
     ``speedup`` isolates the overlap benefit of the *same* launch set.
     ``stage_seconds`` keeps the serial per-stage attribution for Figure 6
     style reporting.
+
+    For partitioned graphs (``ngpu > 1``) the lanes are per-device
+    stream pools: lanes ``[d * streams, (d + 1) * streams)`` are device
+    ``d``'s compute streams and lane ``ngpu * streams + d`` is its link
+    engine (comm nodes only); ``stream_busy_s`` covers every lane in
+    that order.
     """
 
     n: int
@@ -128,6 +134,7 @@ class StreamSchedule:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     launches: Dict[str, int] = field(default_factory=dict)
     stream_busy_s: List[float] = field(default_factory=list)
+    ngpu: int = 1
 
     @property
     def total_s(self) -> float:
@@ -138,6 +145,11 @@ class StreamSchedule:
     def speedup(self) -> float:
         """Serial time of the same launches over the overlapped makespan."""
         return self.serial_s / self.makespan_s if self.makespan_s > 0 else 1.0
+
+    @property
+    def comm_s(self) -> float:
+        """Serial device-to-device communication time in the launch set."""
+        return self.stage_seconds.get(Stage.COMM, 0.0)
 
     @property
     def launch_total(self) -> int:
@@ -156,12 +168,19 @@ def schedule_streams(
 
     Classic list scheduling: each node's priority is its longest
     downstream path (critical path including itself); among ready nodes
-    the highest priority is placed on the stream where it can start
-    earliest (``start = max(stream available, deps finished)``).  The
+    the highest priority is placed on the lane where it can start
+    earliest (``start = max(lane available, deps finished)``).  The
     chosen placement is written back to each node's ``stream`` field for
     inspection (a later call overwrites it).  With ``streams=1`` this
     degenerates to the serial sum the
     :class:`~repro.sim.graph.AnalyticExecutor` charges.
+
+    Partitioned graphs (``graph.ngpu > 1``) schedule device-aware: every
+    device owns its own pool of ``streams`` compute lanes plus one link
+    lane, compute nodes may only run on their device's pool, and comm
+    nodes occupy their device's link - so communication overlaps remote
+    compute but serializes on the interconnect, and the makespan is a
+    true multi-device critical path.
     """
     if streams < 1:
         raise ValueError(f"need at least one stream, got {streams}")
@@ -174,6 +193,7 @@ def schedule_streams(
     compute = config.backend.compute_precision(storage)
     nodes = graph.nodes
     nnodes = len(nodes)
+    ngpu = graph.ngpu
     if cache is None:
         cache = {}  # run-local price memo (sweeps share launch shapes)
 
@@ -199,15 +219,25 @@ def schedule_streams(
         down = max((prio[c] for c in children[i]), default=0.0)
         prio[i] = durs[i] + down
 
+    # lane layout: per-device stream pools, then one link lane per device
+    nlanes = ngpu * streams + (ngpu if ngpu > 1 else 0)
+
+    def lanes_for(node) -> range:
+        dev = node.device or 0
+        if ngpu > 1 and node.stage == Stage.COMM:
+            link_lane = ngpu * streams + dev
+            return range(link_lane, link_lane + 1)
+        return range(dev * streams, (dev + 1) * streams)
+
     ready = [(-prio[i], i) for i in range(nnodes) if indeg[i] == 0]
     heapq.heapify(ready)
-    avail = [0.0] * streams
-    busy = [0.0] * streams
+    avail = [0.0] * nlanes
+    busy = [0.0] * nlanes
     finish = [0.0] * nnodes
     while ready:
         _, i = heapq.heappop(ready)
         dep_ready = max((finish[d] for d in nodes[i].deps), default=0.0)
-        s = min(range(streams), key=lambda q: max(avail[q], dep_ready))
+        s = min(lanes_for(nodes[i]), key=lambda q: max(avail[q], dep_ready))
         start = max(avail[s], dep_ready)
         finish[i] = start + durs[i]
         avail[s] = finish[i]
@@ -226,6 +256,7 @@ def schedule_streams(
         stage_seconds=stage_seconds,
         launches=launches,
         stream_busy_s=busy,
+        ngpu=ngpu,
     )
 
 

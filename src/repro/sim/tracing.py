@@ -25,9 +25,10 @@ class Stage:
     UPDATE = "update"  # UNMQR / TSMQR / FTSMQR
     BRD = "brd"  # band -> bidiagonal bulge chasing
     SOLVE = "solve"  # bidiagonal -> singular values (CPU)
+    COMM = "comm"  # device <-> device traffic (partitioned graphs)
     TRANSFER = "transfer"  # host <-> device traffic
 
-    ALL = (PANEL, UPDATE, BRD, SOLVE, TRANSFER)
+    ALL = (PANEL, UPDATE, BRD, SOLVE, COMM, TRANSFER)
 
 
 @dataclass(frozen=True)

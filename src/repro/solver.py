@@ -49,7 +49,7 @@ from .backends.backend import Backend, BackendLike
 from .config import SolveConfig
 from .errors import InvalidParamsError, ShapeError
 from .precision import Precision, PrecisionLike
-from .sim.costmodel import CostCoefficients
+from .sim.costmodel import CostCoefficients, LinkSpec
 from .sim.graph import AnalyticExecutor
 from .sim.params import KernelParams
 from .sim.schedule import TimeBreakdown, predict_resolved
@@ -60,6 +60,7 @@ from .core.rectangular import emit_tallqr_graph, svdvals_rect_resolved
 from .core.svd import emit_svd_graph, svdvals_resolved
 from .core.tiling import ntiles
 from .core.vectors import svd_full_resolved
+from .sim.partition import check_shard_capacity, partition_graph
 from .sim.scaling import predict_multi_gpu_resolved, predict_out_of_core_resolved
 
 __all__ = ["Solver", "SvdPlan"]
@@ -89,6 +90,7 @@ class Solver:
         method: str = "qr",
         jacobi_tol: Optional[float] = None,
         jacobi_max_sweeps: int = 60,
+        link: Optional[LinkSpec] = None,
     ) -> None:
         self._config = SolveConfig.resolve(
             backend=backend,
@@ -102,6 +104,7 @@ class Solver:
             method=method,
             jacobi_tol=jacobi_tol,
             jacobi_max_sweeps=jacobi_max_sweeps,
+            link=link,
         )
 
     # ------------------------------------------------------------------ #
@@ -256,17 +259,25 @@ class Solver:
         ngpu: int = 1,
         out_of_core: bool = False,
         check_capacity: bool = True,
-        link_gbs: float = 100.0,
+        link_gbs: Optional[float] = None,
         streams: int = 1,
     ) -> Union[TimeBreakdown, StreamSchedule]:
         """Predict the simulated runtime of an ``n x n`` solve.
 
-        One front door for all five analytic models:
+        One front door for every analytic model:
 
         * default: the single-stream launch graph priced end to end;
         * ``batch=b``: ``b`` problems through the batched launch graph;
-        * ``ngpu=g``: tile-row partitioned multi-GPU stage 1
-          (``link_gbs`` sets the interconnect bandwidth);
+        * ``ngpu=g``: the emitted graph is sharded tile-row-wise across
+          ``g`` devices with explicit comm nodes (panel broadcast,
+          boundary exchange, band gather) and priced from the
+          partitioned graph - launch counts come from that graph, comm
+          time is reported as the breakdown's own ``comm_s`` component,
+          and ``ngpu=1`` reproduces single-device pricing exactly.
+          ``link_gbs`` overrides the interconnect bandwidth (default:
+          the backend's link - NVLink on H100/A100, Infinity Fabric on
+          MI250, ...; the handle's ``link=`` axis overrides the backend
+          default);
         * ``out_of_core=True``: host-streamed execution beyond device
           memory;
         * ``streams=k`` (k >= 2): lookahead execution across ``k``
@@ -275,20 +286,37 @@ class Solver:
           by the greedy critical-path scheduler (returns a
           :class:`~repro.sim.timeline.StreamSchedule`).
 
-        The modes are mutually exclusive.  ``check_capacity`` applies to
-        the default and ``streams`` modes only (batched checks total batch
-        footprint; multi-GPU and out-of-core intentionally price
-        beyond-capacity sizes).  Requires a handle constructed with an
-        explicit precision.
+        ``ngpu`` **composes** with ``streams``: ``predict(n, ngpu=g,
+        streams=k)`` emits the lookahead graph, partitions it, and runs
+        the device-aware scheduler with ``k`` streams per device (comm
+        nodes occupy each device's link lane), returning a
+        :class:`~repro.sim.timeline.StreamSchedule`.  ``batch`` and
+        ``out_of_core`` price fundamentally different launch sets and
+        cannot be combined with any other axis.
+
+        ``check_capacity`` applies to the default, ``streams`` and
+        ``ngpu`` modes; with ``ngpu > 1`` it checks the *per-device
+        shard* footprint (so multi-GPU extends capacity; pass
+        ``check_capacity=False`` to price beyond it).  Requires a handle
+        constructed with an explicit precision.
         """
-        modes = (
-            (batch is not None) + (ngpu != 1) + bool(out_of_core)
-            + (streams != 1)
-        )
-        if modes > 1:
+        if ngpu < 1:
             raise InvalidParamsError(
-                "predict modes are mutually exclusive: pass at most one of "
-                "batch=, ngpu=, out_of_core=True, streams="
+                f"ngpu must be a positive device count, got {ngpu}"
+            )
+        if streams < 1:
+            raise InvalidParamsError(
+                f"streams must be a positive stream count, got {streams}"
+            )
+        if batch is not None and (ngpu != 1 or out_of_core or streams != 1):
+            raise InvalidParamsError(
+                "batch= prices the batched launch graph and cannot be "
+                "combined with ngpu=, streams= or out_of_core=True"
+            )
+        if out_of_core and (ngpu != 1 or streams != 1):
+            raise InvalidParamsError(
+                "out_of_core=True prices host-streamed single-device "
+                "execution and cannot be combined with ngpu= or streams="
             )
         if self._config.method != "qr":
             raise InvalidParamsError(
@@ -300,20 +328,26 @@ class Solver:
             return predict_batched_resolved(n, batch, self._config)
         if out_of_core:
             return predict_out_of_core_resolved(n, self._config)
-        if ngpu != 1:
+        if ngpu == 1 and streams == 1:
+            return predict_resolved(
+                n, self._config, check_capacity=check_capacity
+            )
+        if check_capacity:
+            if ngpu == 1:
+                self._config.backend.check_capacity(n, storage)
+            else:
+                check_shard_capacity(n, self._config, ngpu)
+        if ngpu > 1 and streams == 1:
+            # emit -> partition -> price (the TimeBreakdown path)
             return predict_multi_gpu_resolved(
                 n, self._config, ngpu, link_gbs=link_gbs
             )
-        if streams != 1:
-            if streams < 1:
-                raise InvalidParamsError(
-                    f"streams must be a positive stream count, got {streams}"
-                )
-            if check_capacity:
-                self._config.backend.check_capacity(n, storage)
-            graph = emit_svd_graph(n, self._config, streams=streams)
-            return schedule_streams(graph, self._config, storage, streams)
-        return predict_resolved(n, self._config, check_capacity=check_capacity)
+        graph = emit_svd_graph(n, self._config, streams=streams)
+        if ngpu > 1:
+            graph = partition_graph(
+                graph, ngpu, self._config.link_spec(link_gbs)
+            )
+        return schedule_streams(graph, self._config, storage, streams)
 
     # ------------------------------------------------------------------ #
     # plan/execute

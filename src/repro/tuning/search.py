@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..backends.backend import Backend, BackendLike, resolve_backend
-from ..precision import Precision, PrecisionLike, resolve_precision
+from ..backends.backend import BackendLike, resolve_backend
+from ..precision import PrecisionLike, resolve_precision
 from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
 from ..sim.params import KernelParams, param_grid
 from ..sim.schedule import predict

@@ -84,6 +84,7 @@ SIM_ALL = [
     "LaunchGraph",
     "LaunchNode",
     "LaunchRecord",
+    "LinkSpec",
     "NumericExecutor",
     "OccupancyInfo",
     "REFERENCE_PARAMS",
@@ -94,15 +95,20 @@ SIM_ALL = [
     "Tracer",
     "bidiag_solve_cost",
     "brd_cost",
+    "check_shard_capacity",
+    "comm_cost",
     "dump_json",
     "kernel_summary",
     "panel_cost",
     "param_grid",
+    "partition_graph",
     "predict",
     "predict_multi_gpu",
     "predict_out_of_core",
+    "price_partitioned",
     "render_timeline",
     "schedule_streams",
+    "shard_rows",
     "stage1_launch_count",
     "timeline_rows",
     "update_cost",

@@ -1,6 +1,5 @@
 """Tests for the simulated comparator libraries."""
 
-import numpy as np
 import pytest
 
 from tests.conftest import rel_err, scipy_svdvals

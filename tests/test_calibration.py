@@ -10,7 +10,6 @@ the authors' testbed):
 * Figure 5 capacity / support structure.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import get_baseline

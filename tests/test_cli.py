@@ -1,7 +1,5 @@
 """Tests for the experiments CLI entry point."""
 
-import pytest
-
 from repro.experiments.__main__ import main
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import ablations, common, fig5, fig6, ratios, table1, table3
-from repro.precision import Precision
 
 
 class TestCommon:

@@ -19,7 +19,6 @@ from repro.errors import InvalidParamsError, ShapeError
 from repro.sim import (
     AnalyticExecutor,
     KernelParams,
-    LaunchGraph,
     NumericExecutor,
     Stage,
     schedule_streams,
@@ -225,12 +224,14 @@ class TestMultiStream:
         with pytest.raises(ValueError, match="analytic-only"):
             NumericExecutor(W, 64, 1e-7).run(graph)
 
-    def test_streams_mode_mutually_exclusive(self):
+    def test_streams_composes_with_ngpu_but_not_batch(self):
         solver = Solver(backend="h100", precision="fp32")
-        with pytest.raises(InvalidParamsError):
+        with pytest.raises(InvalidParamsError, match="batch"):
             solver.predict(128, batch=4, streams=2)
-        with pytest.raises(InvalidParamsError):
-            solver.predict(128, ngpu=2, streams=2)
+        # the historical guard rejected ngpu x streams; they now compose
+        # into the device-aware scheduler (see tests/test_partition.py)
+        sched = solver.predict(256, ngpu=2, streams=2)
+        assert sched.ngpu == 2 and sched.streams == 2
 
     def test_invalid_stream_count(self):
         solver = Solver(backend="h100", precision="fp32")

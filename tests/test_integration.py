@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from tests.conftest import rel_err, scipy_svdvals
-from repro import Precision, svdvals
+from repro import svdvals
 from repro.matrices import DISTRIBUTIONS, make_test_matrix
 
 

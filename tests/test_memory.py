@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.backends import DeviceMatrix, resolve_backend
+from repro.backends import DeviceMatrix
 from repro.errors import ShapeError, UnsupportedPrecisionError
 from repro.precision import Precision
 

@@ -1,10 +1,14 @@
 """Tests for the report-formatting helpers."""
 
-import math
-
 import pytest
 
-from repro.report import format_ratio, format_seconds, format_table, geomean
+from repro.report import (
+    format_breakdown,
+    format_ratio,
+    format_seconds,
+    format_table,
+    geomean,
+)
 
 
 class TestGeomean:
@@ -58,3 +62,23 @@ class TestTable:
     def test_row_width_checked(self):
         with pytest.raises(ValueError):
             format_table(["a", "b"], [[1]])
+
+
+class TestBreakdown:
+    def test_single_device_has_no_comm_row(self):
+        from repro.sim import TimeBreakdown
+
+        bd = TimeBreakdown(n=64, panel_s=1.0, update_s=2.0, brd_s=0.5,
+                           solve_s=0.5)
+        out = format_breakdown(bd)
+        assert "comm" not in out
+        assert "total" in out and "100.0%" in out
+
+    def test_partitioned_shows_comm_split(self):
+        from repro.sim import TimeBreakdown
+
+        bd = TimeBreakdown(n=64, panel_s=1.0, update_s=2.0, brd_s=0.5,
+                           solve_s=0.5, comm_s=1.0, ngpu=4)
+        out = format_breakdown(bd)
+        assert "comm" in out and "(4 GPUs)" in out
+        assert "20.0%" in out  # comm share of the 5 s total

@@ -73,8 +73,13 @@ class TestMultiGpu:
                                      check_capacity=False).panel_s
 
     def test_communication_term_counts(self):
+        # the graph path makes every comm explicit: broadcast, boundary
+        # exchange, and the stage-2 band gather
         bd = predict_multi_gpu(8192, "h100", "fp32", 4)
         assert bd.launches["panel_bcast"] > 0
+        assert bd.launches["boundary_x"] > 0
+        assert bd.launches["band_gather"] == 1
+        assert bd.comm_s > 0
 
     def test_small_matrix_barely_helped(self):
         """Small problems are panel/solve bound: multi-GPU adds little."""

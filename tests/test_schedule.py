@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CapacityError, ShapeError
-from repro.sim import KernelParams, Stage, predict, stage1_launch_count
+from repro.sim import KernelParams, predict, stage1_launch_count
 
 
 class TestLaunchCount:

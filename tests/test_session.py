@@ -1,6 +1,5 @@
 """Tests for the Session launch API (the KernelAbstractions analogue)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import UnsupportedPrecisionError

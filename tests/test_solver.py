@@ -166,10 +166,15 @@ class TestPredictFrontDoor:
         )
 
     def test_multi_gpu(self, solver):
-        bd = solver.predict(8192, ngpu=4)
+        # the legacy shim's historical default link is 100 GB/s; the
+        # handle front door defaults to the backend's own link (NVLink)
+        bd = solver.predict(8192, ngpu=4, link_gbs=100.0)
         assert bd.total_s == pytest.approx(
             repro.predict_multi_gpu(8192, "h100", "fp32", 4).total_s
         )
+        assert bd.comm_s > 0
+        nvlink = solver.predict(8192, ngpu=4)
+        assert nvlink.comm_s < bd.comm_s  # 450 GB/s NVLink beats 100 GB/s
 
     def test_out_of_core(self, solver):
         n = 2 * solver.backend.max_n("fp32")

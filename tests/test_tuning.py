@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import KernelParams, param_grid, predict
+from repro.sim import KernelParams, predict
 from repro.tuning import autotune, clear_autotune_cache, grid_search
 
 
