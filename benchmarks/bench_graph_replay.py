@@ -108,6 +108,24 @@ def run(
     )
 
 
+def metrics() -> dict:
+    """Deterministic predicted-time metrics for the CI regression gate.
+
+    Only *simulated* seconds qualify - the wall-clock emission timings
+    this bench also reports are host-noise and would flap a 25% gate.
+    """
+    from conftest import get_solver
+
+    solver = get_solver()
+    out = {}
+    for n in (1024, 4096, 16384):
+        out[f"graph_replay/predict_total_s@{n}"] = solver.predict(n).total_s
+    out["graph_replay/streams2_makespan_s@16384"] = solver.predict(
+        16384, streams=2
+    ).total_s
+    return out
+
+
 def test_cached_graph_replay(benchmark, solver):
     from conftest import save_result
 

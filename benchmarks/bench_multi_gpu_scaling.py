@@ -107,6 +107,24 @@ def run(quick: bool = False) -> str:
     return text
 
 
+def metrics() -> dict:
+    """Deterministic predicted-time metrics for the CI regression gate."""
+    from conftest import get_solver
+
+    solver = get_solver()
+    out = {}
+    for g in (1, 2, 4):
+        bd = solver.predict(8192, ngpu=g, check_capacity=False)
+        out[f"multi_gpu/total_s@8192_g{g}"] = bd.total_s
+    out["multi_gpu/comm_s@8192_g4"] = solver.predict(
+        8192, ngpu=4, check_capacity=False
+    ).comm_s
+    out["multi_gpu/streams2_makespan_s@8192_g4"] = solver.predict(
+        8192, ngpu=4, streams=2, check_capacity=False
+    ).total_s
+    return out
+
+
 def test_multi_gpu_scaling(benchmark, solver):
     from conftest import save_result
 

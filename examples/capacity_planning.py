@@ -20,7 +20,7 @@ Usage::
 """
 
 import repro
-from repro.report import format_seconds, format_table
+from repro.report import format_breakdown, format_seconds, format_table
 
 H100 = repro.Solver(backend="h100", precision="fp32")
 
@@ -45,11 +45,39 @@ def out_of_core_cliff() -> None:
     for n in (cap // 2, cap, int(cap * 1.5), cap * 2):
         bd = H100.predict(n, out_of_core=True)
         mode = "in-core" if n <= cap else "streamed"
-        body.append([str(n), mode, format_seconds(bd.total_s).strip()])
+        body.append([
+            str(n), mode, format_seconds(bd.total_s).strip(),
+            format_seconds(bd.io_s).strip(),
+        ])
     print()
     print(format_table(
-        ["n", "mode", "predicted time"],
-        body, title=f"H100 FP32 out-of-core cliff (capacity n={cap})",
+        ["n", "mode", "predicted time", "host io"],
+        body,
+        title=f"H100 FP32 out-of-core cliff (capacity n={cap}): past it, "
+        "the launch graph is rewritten to stream tile panels through a "
+        "bounded device window",
+    ))
+
+
+def io_comm_compute_split() -> None:
+    """Where does the time go when every scaling axis is in play?
+
+    ``format_breakdown`` renders the io-vs-comm-vs-compute split of one
+    prediction: ``out_of_core=True`` adds the ``transfer`` row (explicit
+    h2d/d2h tile traffic over the host link), ``ngpu=`` the ``comm`` row
+    (explicit device-to-device broadcast/exchange/gather) - all priced
+    from the same rewritten LaunchGraph.
+    """
+    n = 32768
+    print()
+    print(format_breakdown(
+        H100.predict(n, out_of_core=True, oc_budget_gb=1.0),
+        title=f"n={n} on one 1 GiB-window device: io vs compute",
+    ))
+    print()
+    print(format_breakdown(
+        H100.predict(n, out_of_core=True, ngpu=2, oc_budget_gb=1.0),
+        title=f"n={n} across 2 such devices: io vs comm vs compute",
     ))
 
 
@@ -96,5 +124,6 @@ def batching_study() -> None:
 if __name__ == "__main__":
     capacity_table()
     out_of_core_cliff()
+    io_comm_compute_split()
     multi_gpu_scaling()
     batching_study()

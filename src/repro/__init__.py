@@ -21,9 +21,12 @@ solve, prediction, and plan:
 run the tall-QR preprocessing and ``(batch, n, n)`` stacks the batched
 driver — while :meth:`Solver.svd` returns full singular vectors and
 :meth:`Solver.predict` prices arbitrary sizes analytically (single-GPU,
-``batch=``, ``out_of_core=True``, multi-stream lookahead overlap with
-``streams=k``, or ``ngpu=g`` - the launch graph sharded tile-row-wise
-across devices with explicit comm nodes, composable with ``streams=``).
+``batch=``, multi-stream lookahead overlap with ``streams=k``,
+``ngpu=g`` - the launch graph sharded tile-row-wise across devices with
+explicit comm nodes - or ``out_of_core=True`` - the graph rewritten to
+stream tile panels through a bounded device window with explicit
+host-link transfer nodes; ``ngpu``, ``streams`` and ``out_of_core``
+compose).
 ``method="jacobi"`` runs the one-sided Jacobi cross-check through the
 same handle.
 
@@ -69,6 +72,7 @@ from .errors import (
     ShapeError,
     UnsupportedBackendError,
     UnsupportedPrecisionError,
+    WindowOverflowError,
 )
 from .precision import Precision, resolve_precision
 from .sim import (
@@ -80,7 +84,7 @@ from .sim import (
 )
 from .solver import Solver, SvdPlan
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # unified handle surface (the recommended API)
@@ -108,6 +112,7 @@ __all__ = [
     "ShapeError",
     "UnsupportedBackendError",
     "UnsupportedPrecisionError",
+    "WindowOverflowError",
     # legacy one-shot shims (delegate to Solver)
     "jacobi_svdvals",
     "predict",

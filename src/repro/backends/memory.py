@@ -11,20 +11,113 @@ memory.  It enforces three semantics the paper relies on:
 * **lazy transpose** — :meth:`DeviceMatrix.T` returns a zero-copy strided
   view, matching Julia's lazy transpose used to express LQ sweeps through
   the QR kernels without data movement.
+
+:class:`TileResidency` is the out-of-core counterpart: it models the
+bounded device window of a host-resident problem.  The rewritten launch
+graphs of :mod:`repro.sim.outofcore` move tiles through the window via
+explicit ``h2d_tile`` / ``d2h_tile`` nodes; during numeric replay the
+tracker mirrors those transfers and *faults*
+(:class:`~repro.errors.WindowOverflowError`) when a load overflows the
+declared capacity or a kernel touches a non-resident tile — so
+out-of-core correctness is enforced numerically, not just priced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Set, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import ShapeError, WindowOverflowError
 from ..precision import Precision, PrecisionLike, resolve_precision
 from .backend import Backend, BackendLike, resolve_backend
 
-__all__ = ["DeviceMatrix"]
+__all__ = ["DeviceMatrix", "TileResidency"]
+
+
+class TileResidency:
+    """Bounded device window of one device of an out-of-core replay.
+
+    Tracks which ``(tile_row, tile_col)`` tiles of the padded matrix are
+    resident in (simulated) device memory, plus the stage-2 band buffer.
+    ``capacity_tiles`` is the window budget the graph rewriter planned
+    against; every violation is a rewriter bug and raises
+    :class:`~repro.errors.WindowOverflowError` rather than silently
+    touching host-resident data.
+    """
+
+    __slots__ = ("capacity_tiles", "device", "resident", "_band_tiles")
+
+    def __init__(self, capacity_tiles: int, device: int = 0) -> None:
+        if capacity_tiles < 1:
+            raise WindowOverflowError(
+                f"device window needs a positive tile capacity, "
+                f"got {capacity_tiles}"
+            )
+        self.capacity_tiles = int(capacity_tiles)
+        self.device = device
+        self.resident: Set[Tuple[int, int]] = set()
+        self._band_tiles = 0  # tile-equivalents held by the band buffer
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_tiles(self) -> int:
+        """Tiles currently held in the window (incl. the band buffer)."""
+        return len(self.resident) + self._band_tiles
+
+    def load(self, tiles: Iterable[Tuple[int, int]]) -> None:
+        """Mark tiles resident (an ``h2d_tile`` landing); fault on overflow."""
+        self.resident.update(tiles)
+        self._check_capacity()
+
+    def evict(self, tiles: Iterable[Tuple[int, int]]) -> None:
+        """Drop tiles from the window (a ``d2h_tile`` write-back)."""
+        for t in tiles:
+            # evicting a non-resident tile is a rewriter bookkeeping bug
+            if t not in self.resident:
+                raise WindowOverflowError(
+                    f"device {self.device}: d2h_tile evicts non-resident "
+                    f"tile {t}"
+                )
+            self.resident.discard(t)
+
+    def load_band(self, band_tiles: int) -> None:
+        """Mark the stage-2 band buffer resident (tile-equivalents)."""
+        self._band_tiles = int(band_tiles)
+        self._check_capacity()
+
+    def require(self, tiles: Iterable[Tuple[int, int]], kind: str) -> None:
+        """Fault unless every touched tile is resident."""
+        for t in tiles:
+            if t not in self.resident:
+                raise WindowOverflowError(
+                    f"device {self.device}: {kind} touches tile {t} which "
+                    f"is not resident in the out-of-core window "
+                    f"({len(self.resident)}/{self.capacity_tiles} tiles)"
+                )
+
+    def require_band(self, kind: str) -> None:
+        """Fault unless the band buffer was loaded."""
+        if self._band_tiles == 0:
+            raise WindowOverflowError(
+                f"device {self.device}: {kind} needs the band buffer "
+                "resident but no band h2d_tile was replayed"
+            )
+
+    def _check_capacity(self) -> None:
+        if self.resident_tiles > self.capacity_tiles:
+            raise WindowOverflowError(
+                f"device {self.device}: out-of-core window overflow - "
+                f"{self.resident_tiles} tiles resident, capacity "
+                f"{self.capacity_tiles}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TileResidency(device={self.device}, "
+            f"resident={self.resident_tiles}/{self.capacity_tiles})"
+        )
 
 
 @dataclass

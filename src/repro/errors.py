@@ -12,6 +12,7 @@ __all__ = [
     "UnsupportedPrecisionError",
     "UnsupportedBackendError",
     "CapacityError",
+    "WindowOverflowError",
     "InvalidParamsError",
     "ConvergenceError",
     "ShapeError",
@@ -41,6 +42,17 @@ class CapacityError(ReproError):
     The paper notes the RTX4060 is limited to 32k matrices and that FP16
     enables H100-resident problems up to 131k x 131k; this error enforces
     the same ``n^2 * sizeof(precision)`` budget against device memory.
+    """
+
+
+class WindowOverflowError(CapacityError):
+    """An out-of-core replay exceeded its device-window budget.
+
+    Raised by the tile-residency tracker in :mod:`repro.backends.memory`
+    when a rewritten out-of-core launch graph loads more tiles than its
+    declared window capacity, or when a kernel touches a tile that is not
+    resident - either is a bug in the graph rewriter, so the numeric
+    executor *faults* instead of silently touching host-resident data.
     """
 
 

@@ -7,7 +7,11 @@ NumPy while pricing each launch with the analytic roofline/occupancy model
 parameterized by the Table 2 device specs, the :class:`AnalyticExecutor`
 prices the same graph without numerics for arbitrary matrix sizes
 (:func:`predict`), and :func:`schedule_streams` prices multi-stream
-lookahead overlap with a greedy critical-path scheduler.
+lookahead overlap with a greedy critical-path scheduler.  Graph
+rewriters extend the same IR across devices and memory tiers:
+:func:`partition_graph` shards a graph tile-row-wise with explicit comm
+nodes, and :func:`rewrite_out_of_core` streams tile panels through a
+bounded device window with explicit host-link transfer nodes.
 """
 
 from .costmodel import (
@@ -23,6 +27,7 @@ from .costmodel import (
 )
 from .graph import AnalyticExecutor, LaunchGraph, LaunchNode, NumericExecutor
 from .occupancy import OccupancyInfo, update_occupancy, warp_utilization
+from .outofcore import rewrite_out_of_core, window_capacity_tiles
 from .params import REFERENCE_PARAMS, KernelParams, param_grid
 from .partition import (
     check_shard_capacity,
@@ -72,9 +77,11 @@ __all__ = [
     "predict_multi_gpu",
     "predict_out_of_core",
     "price_partitioned",
+    "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",
     "stage1_launch_count",
+    "window_capacity_tiles",
     "update_cost",
     "update_occupancy",
     "dump_json",

@@ -107,6 +107,7 @@ class CostCoefficients:
     bdc_flops_per_n2: float = 9.0  # D&C singular-values-only work
     cpu_call_overhead_s: float = 2.0e-4  # library call + D2H/H2D latency
     pcie_gbs: float = 25.0  # host link bandwidth
+    pcie_latency_us: float = 10.0  # host link per-transfer latency
 
     def with_(self, **kwargs) -> "CostCoefficients":
         """Copy with selected coefficients replaced."""

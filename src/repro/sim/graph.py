@@ -72,6 +72,7 @@ __all__ = [
     "LaunchGraph",
     "LaunchNode",
     "NumericExecutor",
+    "TRANSFER_KINDS",
     "node_overhead_s",
     "price_node",
 ]
@@ -85,6 +86,13 @@ _NO_OVERHEAD_FAMILIES = ("solve", "solve_b", "comm")
 #: devices, never compute, and are numeric no-ops on the shared-memory
 #: simulation fabric.
 COMM_KINDS = ("panel_bcast", "boundary_x", "band_gather")
+
+#: Node kinds of the explicit host<->device transfers an out-of-core
+#: rewritten graph carries (see :mod:`repro.sim.outofcore`).  Like comm
+#: nodes they move data without computing and are numeric no-ops on the
+#: simulation fabric, but they drive the tile-residency window the
+#: numeric executor enforces on out-of-core replays.
+TRANSFER_KINDS = ("h2d_tile", "d2h_tile")
 
 
 @dataclass(slots=True)
@@ -138,6 +146,14 @@ class LaunchGraph:
     #: with ``ngpu > 1`` carry per-node ``device`` assignments and
     #: explicit :data:`COMM_KINDS` nodes.
     ngpu: int = 1
+    #: True for graphs rewritten by
+    #: :func:`repro.sim.outofcore.rewrite_out_of_core`: tile panels
+    #: stream through a bounded device window via explicit
+    #: :data:`TRANSFER_KINDS` nodes.
+    out_of_core: bool = False
+    #: Per-device window capacity (in tiles) of an out-of-core graph;
+    #: the numeric executor enforces it during replay.
+    oc_capacity_tiles: Optional[int] = None
     #: True when identical consecutive launches are folded into counted
     #: nodes (analytic-only; keeps the unfused O(tiles^2) launch schedule
     #: priceable in O(tiles) nodes, like the pre-graph closed form).
@@ -320,6 +336,7 @@ class AnalyticExecutor:
             brd_s=stage_total(Stage.BRD),
             solve_s=stage_total(Stage.SOLVE),
             comm_s=stage_total(Stage.COMM),
+            io_s=stage_total(Stage.TRANSFER),
             launches=launches,
             flops=flops,
             bytes=nbytes,
@@ -374,6 +391,10 @@ class NumericExecutor:
         self.storage = storage
         self.stage3 = stage3
         self._np = np
+        #: Tile-residency tracker of an out-of-core replay (``None`` for
+        #: in-core graphs); installed by :meth:`run` from the graph's
+        #: declared window capacity and enforced on every node.
+        self._window = None
         self._tau0: Dict[int, object] = {}
         #: sweep -> (first row, stop row, tau list) of the live FTSQRT
         #: output; partitioned graphs consume it chunk by chunk.
@@ -407,6 +428,14 @@ class NumericExecutor:
                 "multi-stream and counted graphs are analytic-only; emit "
                 "with streams=1, counted=False for numeric replay"
             )
+        self._window = None  # never carry a tracker across run() calls
+        if isinstance(graph, LaunchGraph) and graph.out_of_core:
+            # out-of-core replays run under an enforced window budget:
+            # every launch must find its tiles resident or the replay
+            # faults (lazy import - outofcore imports this module)
+            from .outofcore import WindowTracker
+
+            self._window = WindowTracker(graph)
         for node in nodes:
             self._dispatch(node)
         return self
@@ -423,6 +452,17 @@ class NumericExecutor:
 
     def _dispatch(self, node: LaunchNode) -> None:
         kind = node.kind
+        if kind in TRANSFER_KINDS:
+            # pure host<->device movement: a numeric no-op on the shared
+            # simulation fabric, but it drives the residency window and
+            # is traced and priced like a launch
+            if self._window is not None:
+                self._window.on_transfer(node)
+            if self.session is not None:
+                self.session.launch_comm(kind, node.key, stage=Stage.TRANSFER)
+            return
+        if self._window is not None:
+            self._window.require(node)
         ts = self.ts
         geqrt, unmqr, ftsqrt, ftsmqr, tsqrt, tsmqr = self._k
         tile = self._tile

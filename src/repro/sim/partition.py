@@ -138,6 +138,12 @@ def partition_graph(
             "counted graphs fold launch runs without tile metadata and "
             "cannot be partitioned; emit with counted=False"
         )
+    if graph.out_of_core:
+        raise ValueError(
+            "graph rewriters compose in a fixed order: partition_graph "
+            "first, then rewrite_out_of_core - this graph is already "
+            "rewritten out-of-core"
+        )
     if graph.kind != "square":
         raise ValueError(
             f"only square solve graphs can be partitioned, got {graph.kind!r}"
@@ -318,8 +324,9 @@ def price_partitioned(
     float-identical to the single-device prediction.  The update stage
     charges, per sweep, the maximum over devices of that device's update
     time (concurrent shards; the launch-granularity stand-in for the
-    column-pipelined overlap), and every comm node lands in ``comm_s``.
-    Launch counts come from the partitioned graph itself.
+    column-pipelined overlap), every comm node lands in ``comm_s``, and
+    the host-link transfers of an out-of-core rewritten shard land in
+    ``io_s``.  Launch counts come from the partitioned graph itself.
     """
     spec = config.backend.device
     compute = config.backend.compute_precision(storage)
@@ -368,6 +375,7 @@ def price_partitioned(
         brd_s=stage_total(Stage.BRD),
         solve_s=stage_total(Stage.SOLVE),
         comm_s=stage_total(Stage.COMM),
+        io_s=stage_total(Stage.TRANSFER),
         launches=launches,
         flops=flops,
         bytes=nbytes,

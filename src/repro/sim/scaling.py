@@ -7,9 +7,13 @@ extends the analytic schedule model to both regimes so the design space
 can be explored ahead of a kernel port:
 
 * :func:`predict_out_of_core` prices the stage-1 reduction when the matrix
-  exceeds device memory: panels stay resident while trailing tile rows
-  stream over the host link, bounding throughput by
-  ``min(device roofline, PCIe bandwidth x arithmetic intensity)``;
+  exceeds device memory through the graph path: the emitted launch graph
+  is rewritten by :func:`repro.sim.outofcore.rewrite_out_of_core` into a
+  host-resident plan - pinned panels, trailing tile rows streamed through
+  a bounded device window via explicit ``h2d_tile``/``d2h_tile`` transfer
+  nodes - and priced with transfer time as the breakdown's own ``io_s``
+  component.  The pre-rewriter closed form survives as
+  :func:`out_of_core_closed_form_resolved`, its consistency oracle;
 * :func:`predict_multi_gpu` prices a tile-row partitioned multi-GPU
   stage 1 through the graph path: the emitted launch graph is sharded by
   :func:`repro.sim.partition.partition_graph` (explicit comm nodes,
@@ -19,7 +23,11 @@ can be explored ahead of a kernel port:
   consistency oracle the tests pin the graph path against.
 
 Both return the same :class:`~repro.sim.schedule.TimeBreakdown` used by
-the single-GPU model, so all reporting utilities apply.
+the single-GPU model, so all reporting utilities apply; out-of-core
+composes with ``streams`` (returning a
+:class:`~repro.sim.timeline.StreamSchedule`) and with ``ngpu``
+(partition first, then rewrite each device's shard against its own
+budget).
 """
 
 from __future__ import annotations
@@ -36,16 +44,24 @@ from .schedule import TimeBreakdown, predict_resolved
 
 __all__ = [
     "multi_gpu_closed_form_resolved",
+    "out_of_core_closed_form_resolved",
     "predict_multi_gpu",
     "predict_out_of_core",
 ]
 
 
-def predict_out_of_core_resolved(n: int, config) -> TimeBreakdown:
-    """Out-of-core prediction against a resolved ``SolveConfig``.
+def out_of_core_closed_form_resolved(n: int, config) -> TimeBreakdown:
+    """Legacy closed-form out-of-core model (kept as a consistency oracle).
 
-    The single shared code path behind :meth:`repro.Solver.predict` with
-    ``out_of_core=True`` and the legacy :func:`predict_out_of_core` shim.
+    This was the pre-rewriter streaming model: panels stay resident,
+    every sweep streams the trailing submatrix in and out over the host
+    link once, and the stage-1 update time becomes the maximum of the
+    in-core update time and that transfer time (perfect overlap).  The
+    graph path (:func:`repro.sim.outofcore.rewrite_out_of_core` +
+    analytic pricing) replaced it; ``tests/test_outofcore.py`` pins the
+    two models against each other on this formula's modeled regime
+    (large, transfer-dominated sizes), so the rewritten pricing cannot
+    silently drift from the physics the closed form encodes.
     """
     be = config.backend
     storage = config.require_precision("out-of-core prediction")
@@ -82,6 +98,56 @@ def predict_out_of_core_resolved(n: int, config) -> TimeBreakdown:
     return ooc
 
 
+def predict_out_of_core_resolved(
+    n: int,
+    config,
+    ngpu: int = 1,
+    streams: int = 1,
+    link_gbs: Optional[float] = None,
+    budget_bytes: Optional[float] = None,
+):
+    """Out-of-core prediction against a resolved ``SolveConfig``.
+
+    The single shared code path behind :meth:`repro.Solver.predict` with
+    ``out_of_core=True`` and the legacy :func:`predict_out_of_core`
+    shim: emit the launch graph the numeric driver would replay,
+    partition it when ``ngpu > 1``, rewrite each device's shard against
+    its memory budget (``budget_bytes``, default the backend's device
+    memory) with explicit host-link transfer nodes, and price the
+    result - analytically for ``streams == 1`` (transfer time as the
+    breakdown's ``io_s``), through the device-aware list scheduler for
+    ``streams > 1`` (transfers overlap compute on a dedicated host-link
+    lane, returning a :class:`~repro.sim.timeline.StreamSchedule`).
+
+    In-core problems pass through unrewritten, so ``io_s`` is nonzero
+    only past capacity and ``ngpu=1, streams=1`` reproduces the default
+    prediction exactly.
+    """
+    storage = config.require_precision("out-of-core prediction")
+    if n < 1:
+        raise ShapeError(f"matrix order must be positive, got {n}")
+
+    # the emitter lives with the drivers; lazy import keeps repro.sim
+    # importable before repro.core
+    from ..core.svd import emit_svd_graph
+    from .graph import AnalyticExecutor
+    from .outofcore import rewrite_out_of_core
+    from .partition import partition_graph, price_partitioned
+    from .timeline import schedule_streams
+
+    graph = emit_svd_graph(n, config, streams=streams)
+    if ngpu > 1:
+        graph = partition_graph(graph, ngpu, config.link_spec(link_gbs))
+    graph = rewrite_out_of_core(
+        graph, config, storage, budget_bytes=budget_bytes
+    )
+    if streams > 1:
+        return schedule_streams(graph, config, storage, streams)
+    if ngpu > 1:
+        return price_partitioned(graph, config, storage)
+    return AnalyticExecutor(config, storage).run(graph)
+
+
 def predict_out_of_core(
     n: int,
     backend: BackendLike,
@@ -91,13 +157,14 @@ def predict_out_of_core(
 ) -> TimeBreakdown:
     """Predict runtime when the matrix exceeds device memory.
 
-    The schedule keeps the active panel and one trailing row-block
-    resident; every sweep streams the trailing submatrix in and out over
-    the host link once.  Total host traffic is therefore about
-    ``2 * sum_k (n - k*ts)^2 ~ (2/3) n^3 / ts`` elements - the classic
-    out-of-core LU/QR bound - and the stage-1 update time becomes the
-    maximum of the in-core update time and that transfer time.  Thin shim
-    over :class:`repro.Solver`.
+    The rewritten launch graph keeps the active panel and pivot row
+    pinned and streams the trailing tile rows through a bounded,
+    double-buffered device window; every host<->device movement is an
+    explicit ``h2d_tile``/``d2h_tile`` node priced over the PCIe link.
+    Total host traffic is about ``2 * sum_k (n - k*ts)^2 ~ (2/3) n^3 /
+    ts`` elements - the classic out-of-core LU/QR bound - reported as
+    the breakdown's ``io_s`` component.  Thin shim over
+    :class:`repro.Solver`.
     """
     from ..solver import Solver
 

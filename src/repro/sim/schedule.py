@@ -45,6 +45,9 @@ class TimeBreakdown:
     (``ngpu > 1``) predictions — zero on single-device runs; for
     partitioned predictions ``update_s`` is the per-device critical path
     (the concurrent shards' maximum), not the serial shard sum.
+    ``io_s`` is the host<->device transfer time of out-of-core
+    predictions (the ``h2d_tile`` / ``d2h_tile`` nodes a rewritten graph
+    carries; see :mod:`repro.sim.outofcore`) — zero for in-core runs.
     """
 
     n: int
@@ -53,6 +56,7 @@ class TimeBreakdown:
     brd_s: float = 0.0
     solve_s: float = 0.0
     comm_s: float = 0.0
+    io_s: float = 0.0
     launches: Dict[str, int] = field(default_factory=dict)
     flops: float = 0.0
     bytes: float = 0.0
@@ -63,7 +67,7 @@ class TimeBreakdown:
         """End-to-end simulated seconds."""
         return (
             self.panel_s + self.update_s + self.brd_s + self.solve_s
-            + self.comm_s
+            + self.comm_s + self.io_s
         )
 
     @property
@@ -89,6 +93,8 @@ class TimeBreakdown:
         }
         if self.comm_s > 0.0:
             out[Stage.COMM] = self.comm_s / t
+        if self.io_s > 0.0:
+            out[Stage.TRANSFER] = self.io_s / t
         return out
 
 

@@ -181,13 +181,16 @@ class Session:
             )
         )
 
-    def launch_comm(self, kernel: str, key: Tuple) -> None:
-        """Record a device-to-device transfer of a partitioned graph.
+    def launch_comm(self, kernel: str, key: Tuple, stage: str = Stage.COMM) -> None:
+        """Record a link transfer of a partitioned or out-of-core graph.
 
         ``key`` is the node's self-contained ``("comm", elems, hops,
         link_gbs, latency_us)`` cost key (see
         :func:`repro.sim.graph.price_node`), shared with the analytic
-        pricer through the cost cache.
+        pricer through the cost cache.  ``stage`` distinguishes
+        device-to-device comm nodes (:data:`Stage.COMM`, the default)
+        from the host-link ``h2d_tile`` / ``d2h_tile`` transfers of an
+        out-of-core graph (:data:`Stage.TRANSFER`).
         """
         _, elems, hops, link_gbs, latency_us = key
         cost = self._cached(
@@ -200,7 +203,7 @@ class Session:
         )
         self.tracer.record(
             LaunchRecord(
-                kernel=kernel, stage=Stage.COMM, cost=cost, overhead_s=0.0
+                kernel=kernel, stage=stage, cost=cost, overhead_s=0.0
             )
         )
 

@@ -124,7 +124,10 @@ class StreamSchedule:
     stream pools: lanes ``[d * streams, (d + 1) * streams)`` are device
     ``d``'s compute streams and lane ``ngpu * streams + d`` is its link
     engine (comm nodes only); ``stream_busy_s`` covers every lane in
-    that order.
+    that order.  Out-of-core graphs append one more lane per device -
+    its host-link (PCIe) copy engine, which the ``h2d_tile`` /
+    ``d2h_tile`` transfer nodes occupy - so prefetch overlaps compute
+    but transfers serialize on the host link.
     """
 
     n: int
@@ -150,6 +153,11 @@ class StreamSchedule:
     def comm_s(self) -> float:
         """Serial device-to-device communication time in the launch set."""
         return self.stage_seconds.get(Stage.COMM, 0.0)
+
+    @property
+    def io_s(self) -> float:
+        """Serial host<->device transfer time in the launch set."""
+        return self.stage_seconds.get(Stage.TRANSFER, 0.0)
 
     @property
     def launch_total(self) -> int:
@@ -220,10 +228,17 @@ def schedule_streams(
         prio[i] = durs[i] + down
 
     # lane layout: per-device stream pools, then one link lane per device
-    nlanes = ngpu * streams + (ngpu if ngpu > 1 else 0)
+    # (partitioned graphs), then one host-link lane per device
+    # (out-of-core graphs)
+    comm_lanes = ngpu if ngpu > 1 else 0
+    xfer_lanes = ngpu if graph.out_of_core else 0
+    nlanes = ngpu * streams + comm_lanes + xfer_lanes
 
     def lanes_for(node) -> range:
         dev = node.device or 0
+        if node.stage == Stage.TRANSFER and xfer_lanes:
+            host_lane = ngpu * streams + comm_lanes + dev
+            return range(host_lane, host_lane + 1)
         if ngpu > 1 and node.stage == Stage.COMM:
             link_lane = ngpu * streams + dev
             return range(link_lane, link_lane + 1)

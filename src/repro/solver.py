@@ -261,6 +261,7 @@ class Solver:
         check_capacity: bool = True,
         link_gbs: Optional[float] = None,
         streams: int = 1,
+        oc_budget_gb: Optional[float] = None,
     ) -> Union[TimeBreakdown, StreamSchedule]:
         """Predict the simulated runtime of an ``n x n`` solve.
 
@@ -278,26 +279,39 @@ class Solver:
           the backend's link - NVLink on H100/A100, Infinity Fabric on
           MI250, ...; the handle's ``link=`` axis overrides the backend
           default);
-        * ``out_of_core=True``: host-streamed execution beyond device
-          memory;
+        * ``out_of_core=True``: host-resident execution beyond device
+          memory - the emitted graph is rewritten by
+          :func:`repro.sim.outofcore.rewrite_out_of_core` to stream
+          tile panels through a bounded device window with explicit
+          ``h2d_tile``/``d2h_tile`` transfer nodes, and transfer time is
+          reported as the breakdown's own ``io_s`` component (zero when
+          the problem fits; launch counts come from the rewritten
+          graph).  ``oc_budget_gb`` overrides the per-device window
+          budget (default: the backend's device memory);
         * ``streams=k`` (k >= 2): lookahead execution across ``k``
           streams - trailing updates are split so their remainders
           overlap the next panel factorization, and the graph is priced
           by the greedy critical-path scheduler (returns a
           :class:`~repro.sim.timeline.StreamSchedule`).
 
-        ``ngpu`` **composes** with ``streams``: ``predict(n, ngpu=g,
-        streams=k)`` emits the lookahead graph, partitions it, and runs
-        the device-aware scheduler with ``k`` streams per device (comm
-        nodes occupy each device's link lane), returning a
-        :class:`~repro.sim.timeline.StreamSchedule`.  ``batch`` and
-        ``out_of_core`` price fundamentally different launch sets and
-        cannot be combined with any other axis.
+        ``ngpu``, ``streams`` and ``out_of_core`` **compose**:
+        ``predict(n, ngpu=g, streams=k)`` emits the lookahead graph,
+        partitions it, and runs the device-aware scheduler with ``k``
+        streams per device (comm nodes occupy each device's link lane);
+        adding ``out_of_core=True`` partitions first, then rewrites each
+        device's shard against its own budget - under the scheduler the
+        transfers occupy a dedicated per-device host-link lane, so
+        prefetch overlaps compute.  ``batch`` prices a fundamentally
+        different launch set and cannot be combined with any other axis.
 
         ``check_capacity`` applies to the default, ``streams`` and
         ``ngpu`` modes; with ``ngpu > 1`` it checks the *per-device
         shard* footprint (so multi-GPU extends capacity; pass
-        ``check_capacity=False`` to price beyond it).  Requires a handle
+        ``check_capacity=False`` to price beyond it).  Out-of-core
+        predictions skip the device capacity check - exceeding it is
+        their purpose - but raise
+        :class:`~repro.errors.CapacityError` when the budget cannot hold
+        even the minimum streaming window.  Requires a handle
         constructed with an explicit precision.
         """
         if ngpu < 1:
@@ -309,15 +323,27 @@ class Solver:
                 f"streams must be a positive stream count, got {streams}"
             )
         if batch is not None and (ngpu != 1 or out_of_core or streams != 1):
+            passed = [
+                f"ngpu={ngpu}" if ngpu != 1 else "",
+                f"streams={streams}" if streams != 1 else "",
+                "out_of_core=True" if out_of_core else "",
+            ]
             raise InvalidParamsError(
-                "batch= prices the batched launch graph and cannot be "
-                "combined with ngpu=, streams= or out_of_core=True"
+                f"batch={batch} prices the batched launch graph and "
+                f"cannot be combined with "
+                f"{', '.join(p for p in passed if p)}"
             )
-        if out_of_core and (ngpu != 1 or streams != 1):
-            raise InvalidParamsError(
-                "out_of_core=True prices host-streamed single-device "
-                "execution and cannot be combined with ngpu= or streams="
-            )
+        if oc_budget_gb is not None:
+            if not out_of_core:
+                raise InvalidParamsError(
+                    "oc_budget_gb sets the out-of-core window budget and "
+                    "requires out_of_core=True"
+                )
+            if oc_budget_gb <= 0:
+                raise InvalidParamsError(
+                    f"oc_budget_gb must be a positive budget, "
+                    f"got {oc_budget_gb}"
+                )
         if self._config.method != "qr":
             raise InvalidParamsError(
                 "prediction models the two-stage QR pipeline; construct "
@@ -327,7 +353,16 @@ class Solver:
         if batch is not None:
             return predict_batched_resolved(n, batch, self._config)
         if out_of_core:
-            return predict_out_of_core_resolved(n, self._config)
+            return predict_out_of_core_resolved(
+                n,
+                self._config,
+                ngpu=ngpu,
+                streams=streams,
+                link_gbs=link_gbs,
+                budget_bytes=(
+                    oc_budget_gb * 2**30 if oc_budget_gb is not None else None
+                ),
+            )
         if ngpu == 1 and streams == 1:
             return predict_resolved(
                 n, self._config, check_capacity=check_capacity

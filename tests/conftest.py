@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 import scipy.linalg as sla
+
+from hypothesis import settings
+
+# The weekly scheduled CI run exercises the property tests much harder
+# than the per-PR gate; select with HYPOTHESIS_PROFILE=ci (see ci.yml).
+settings.register_profile("default", settings())
+settings.register_profile("ci", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

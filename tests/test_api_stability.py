@@ -29,6 +29,7 @@ REPRO_ALL = [
     "SvdPlan",
     "UnsupportedBackendError",
     "UnsupportedPrecisionError",
+    "WindowOverflowError",
     "__version__",
     "jacobi_svdvals",
     "list_backends",
@@ -107,6 +108,7 @@ SIM_ALL = [
     "predict_out_of_core",
     "price_partitioned",
     "render_timeline",
+    "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",
     "stage1_launch_count",
@@ -114,6 +116,7 @@ SIM_ALL = [
     "update_cost",
     "update_occupancy",
     "warp_utilization",
+    "window_capacity_tiles",
 ]
 
 

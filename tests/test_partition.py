@@ -319,13 +319,27 @@ class TestPredictModeValidation:
             with pytest.raises(InvalidParamsError, match="batch"):
                 solver.predict(128, **kwargs)
 
-    def test_out_of_core_composes_with_nothing(self, solver):
-        for kwargs in (
-            dict(out_of_core=True, ngpu=2),
-            dict(out_of_core=True, streams=2),
+    def test_batch_error_names_passed_axes(self, solver):
+        """The illegal-combination message names the axes actually passed."""
+        with pytest.raises(InvalidParamsError, match=r"batch=4.*ngpu=2"):
+            solver.predict(128, batch=4, ngpu=2)
+        with pytest.raises(InvalidParamsError, match=r"batch=8.*streams=3"):
+            solver.predict(128, batch=8, streams=3)
+        with pytest.raises(
+            InvalidParamsError, match=r"batch=4.*out_of_core=True"
         ):
-            with pytest.raises(InvalidParamsError, match="out_of_core"):
-                solver.predict(128, **kwargs)
+            solver.predict(128, batch=4, out_of_core=True)
+        # all three at once: every offending axis is listed
+        with pytest.raises(
+            InvalidParamsError,
+            match=r"ngpu=2, streams=2, out_of_core=True",
+        ):
+            solver.predict(128, batch=4, ngpu=2, streams=2, out_of_core=True)
+        # and the axis NOT passed is not blamed
+        with pytest.raises(InvalidParamsError) as err:
+            solver.predict(128, batch=4, ngpu=2)
+        assert "streams" not in str(err.value)
+        assert "out_of_core" not in str(err.value)
 
     def test_invalid_counts(self, solver):
         with pytest.raises(InvalidParamsError, match="ngpu"):

@@ -12,7 +12,8 @@ class TestOutOfCore:
         a = predict_out_of_core(8192, "h100", "fp32")
         b = predict(8192, "h100", "fp32")
         assert a.total_s == pytest.approx(b.total_s)
-        assert "h2d_stream" not in a.launches
+        assert a.io_s == 0.0
+        assert "h2d_tile" not in a.launches
 
     def test_enables_beyond_capacity(self):
         """Sizes that raise CapacityError in-core become predictable."""
@@ -22,14 +23,17 @@ class TestOutOfCore:
             predict(200000, "h100", "fp32")
         bd = predict_out_of_core(200000, "h100", "fp32")
         assert bd.total_s > 0
-        assert bd.launches["h2d_stream"] > 0
+        assert bd.launches["h2d_tile"] > 0
+        assert bd.launches["d2h_tile"] > 0
+        assert bd.io_s > 0
 
     def test_host_link_dominates(self):
-        """Out-of-core update time is bounded below by PCIe streaming."""
+        """Out-of-core time is bounded below by PCIe streaming."""
         n = 200000
         bd = predict_out_of_core(n, "h100", "fp32")
         ic = predict(n, "h100", "fp32", check_capacity=False)
-        assert bd.update_s >= ic.update_s
+        assert bd.io_s > ic.total_s  # host streaming dwarfs the compute
+        assert bd.total_s > ic.total_s
         assert bd.bytes > ic.bytes
 
     def test_monotone_in_n(self):

@@ -182,14 +182,21 @@ class TestPredictFrontDoor:
         assert bd.total_s == pytest.approx(
             repro.predict_out_of_core(n, "h100", "fp32").total_s
         )
+        assert bd.io_s > 0
 
-    def test_modes_mutually_exclusive(self, solver):
+    def test_batch_composes_with_nothing(self, solver):
         with pytest.raises(InvalidParamsError):
             solver.predict(128, batch=8, ngpu=2)
         with pytest.raises(InvalidParamsError):
             solver.predict(128, batch=8, out_of_core=True)
         with pytest.raises(InvalidParamsError):
-            solver.predict(128, ngpu=2, out_of_core=True)
+            solver.predict(128, batch=8, streams=2)
+
+    def test_out_of_core_composes(self, solver):
+        # since the graph rewriter landed, out_of_core composes with
+        # both ngpu= and streams= (see tests/test_outofcore.py)
+        bd = solver.predict(256, ngpu=2, out_of_core=True)
+        assert bd.ngpu == 2
 
     def test_requires_explicit_precision(self):
         with pytest.raises(InvalidParamsError, match="precision"):
