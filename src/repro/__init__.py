@@ -21,12 +21,17 @@ solve, prediction, and plan:
 run the tall-QR preprocessing and ``(batch, n, n)`` stacks the batched
 driver — while :meth:`Solver.svd` returns full singular vectors and
 :meth:`Solver.predict` prices arbitrary sizes analytically (single-GPU,
-``batch=``, multi-stream lookahead overlap with ``streams=k``,
-``ngpu=g`` - the launch graph sharded tile-row-wise across devices with
-explicit comm nodes - or ``out_of_core=True`` - the graph rewritten to
-stream tile panels through a bounded device window with explicit
-host-link transfer nodes; ``ngpu``, ``streams`` and ``out_of_core``
-compose).
+``batch=b`` - the batched launch graph, one grid covering all problems
+per step - multi-stream lookahead overlap with ``streams=k``,
+``ngpu=g`` - the launch graph sharded across devices with explicit comm
+nodes - or ``out_of_core=True`` - the graph rewritten to stream through
+a bounded device window with explicit host-link transfer nodes).  Every
+axis **composes**: ``predict(n, batch=b, ngpu=g, streams=k,
+out_of_core=True)`` runs one emit → partition → rewrite → price
+pipeline.  :meth:`Solver.tune` searches that whole space analytically —
+kernel hyperparameters × ``streams`` × ``ngpu`` × window budget — and
+returns a ranked :class:`repro.tuning.TunePlan` whose winner is never
+analytically slower than the untuned default.
 ``method="jacobi"`` runs the one-sided Jacobi cross-check through the
 same handle.
 
@@ -84,7 +89,7 @@ from .sim import (
 )
 from .solver import Solver, SvdPlan
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # unified handle surface (the recommended API)

@@ -40,6 +40,7 @@ class Magma(BaselineLibrary):
     pcie_gbs = 25.0
 
     def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        """Modeled MAGMA one-stage ``gesdd`` time for ``n x n``."""
         be, prec = self.check(n, backend, precision)
         spec = be.device
         flops = svd_flops(n)
@@ -77,6 +78,7 @@ class Slate(BaselineLibrary):
     consumer_penalty = 120.0
 
     def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        """Modeled SLATE tiled-SVD time for ``n x n``."""
         be, prec = self.check(n, backend, precision)
         spec = be.device
         ntiles = max(1, -(-n // self.tile_nb))

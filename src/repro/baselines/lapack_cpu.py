@@ -27,5 +27,6 @@ class LapackCPU(BaselineLibrary):
     t0 = 5.0e-5
 
     def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        """Modeled reference-LAPACK CPU ``gesvd`` time for ``n x n``."""
         self.check(n, backend, precision)
         return self.t0 + svd_flops(n) / (self.cpu_gflops * 1e9)

@@ -54,6 +54,7 @@ class CuSolver(BaselineLibrary):
     t0_consumer = 5.0e-4
 
     def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        """Modeled cuSOLVER ``gesvd`` time for ``n x n``."""
         be, prec = self.check(n, backend, precision)
         spec = be.device
         n_sat = self.n_sat_ref * (
@@ -84,6 +85,7 @@ class RocSolver(BaselineLibrary):
     t0 = 8.0e-3
 
     def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        """Modeled rocSOLVER ``gesvd`` time for ``n x n``."""
         be, prec = self.check(n, backend, precision)
         spec = be.device
         flops = svd_flops(n)
@@ -118,6 +120,7 @@ class OneMKL(BaselineLibrary):
     t0_gpu = 1.0e-3
 
     def predict_time(self, n: int, backend: BackendLike, precision: PrecisionLike) -> float:
+        """Modeled oneMKL ``gesvd`` offload time for ``n x n``."""
         be, prec = self.check(n, backend, precision)
         spec = be.device
         flops = svd_flops(n)

@@ -13,11 +13,30 @@ that capability on the simulated device:
   per step instead of once per matrix - exactly why batching wins for
   small sizes.
 
-:func:`predict_batched` exposes the model; :func:`svdvals_batched` runs
-the numerics and charges the batched schedule.
+Since the graph-native batching PR, ``batch=`` is a first-class axis of
+the stage-graph engine rather than a closed-form detour:
+:func:`emit_batched_graph` emits a *replayable* batched
+:class:`~repro.sim.graph.LaunchGraph` whose nodes carry both the batched
+cost keys and the per-problem tile coordinates (``meta[0]`` is the
+problem subset, ``meta[1:]`` the square node's meta), so the graph flows
+through the same rewriter stack as every other axis:
+``streams=k`` splits the batch into ``k`` round-robin chains that the
+list scheduler overlaps, :func:`repro.sim.partition.partition_graph`
+shards the batch round-robin across devices (comm only for the result
+gather), and :func:`repro.sim.outofcore.rewrite_out_of_core` streams
+whole problems through a bounded device window shared by every in-flight
+problem.  :func:`predict_batched_resolved` is the emit -> (partition ->)
+(rewrite ->) price pipeline behind ``Solver.predict(n, batch=b, ...)``;
+the pre-composition pricing survives as
+:func:`batched_closed_form_resolved`, the consistency oracle the tests
+pin the graph path against.  :func:`replay_batched_graph` replays any
+replayable batched graph (sharded or out-of-core) numerically, bitwise
+identical to solving each matrix alone.
 """
 
 from __future__ import annotations
+
+import math
 
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -27,82 +46,287 @@ from ..backends.backend import BackendLike
 from ..config import SolveConfig
 from ..errors import CapacityError, ShapeError
 from ..precision import PrecisionLike
-from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients, brd_launch_count
-from ..sim.graph import AnalyticExecutor, LaunchGraph, LaunchNode
+from ..sim.costmodel import (
+    DEFAULT_COEFFS,
+    CostCoefficients,
+    bidiag_solve_cost,
+    brd_cost,
+    brd_launch_count,
+    panel_cost,
+    update_cost,
+)
+from ..sim.graph import (
+    AnalyticExecutor,
+    LaunchGraph,
+    LaunchNode,
+    NumericExecutor,
+)
 from ..sim.params import KernelParams
 from ..sim.schedule import TimeBreakdown
 from ..sim.tracing import Stage
-from .svd import emit_svd_graph, svdvals_resolved
+from .svd import _rescale_factor, emit_svd_graph, svdvals_resolved
 from .tiling import ntiles
 
-__all__ = ["emit_batched_graph", "predict_batched", "svdvals_batched"]
+__all__ = [
+    "batched_closed_form_resolved",
+    "emit_batched_graph",
+    "predict_batched",
+    "replay_batched_graph",
+    "svdvals_batched",
+]
 
 
-def emit_batched_graph(n: int, batch: int, config: SolveConfig) -> LaunchGraph:
+def emit_batched_graph(
+    n: int, batch: int, config: SolveConfig, streams: int = 1
+) -> LaunchGraph:
     """Emit the batched launch graph: one grid covers all problems per step.
 
-    Batched panel launches (``panel_b`` cost family) run ``batch``
+    Batched panel launches (``panel_b`` cost family) run their problems'
     independent single-chain bodies concurrently across SMs; batched
-    update launches process ``batch x width`` columns in one grid; the
-    stage-2 chase and CPU solve scale their work ``batch``-fold while
-    sharing launch overheads (``brd_b`` / ``solve_b`` families).  The
-    batch executes launch-by-launch, so dependencies form a serial chain.
+    update launches process ``problems x width`` columns in one grid; the
+    stage-2 chase and CPU solve scale their work batch-fold while sharing
+    launch overheads (``brd_b`` / ``solve_b`` families).  With
+    ``streams=1`` the whole batch executes launch-by-launch, so
+    dependencies form one serial chain and launch counts are independent
+    of the batch size; ``streams=k`` splits the batch into ``k``
+    round-robin *chains* (chain ``j`` owns problems ``j, j+k, ...``) that
+    carry no cross-chain dependencies, so the list scheduler overlaps
+    them across streams.
+
+    Every node's ``meta`` is ``(problem subset, *square meta)`` - the
+    same tile coordinates the square emitter records - which is what
+    makes batched graphs replayable (:func:`replay_batched_graph`),
+    partitionable (round-robin over devices) and rewritable out-of-core
+    (whole problems streamed through the window).
     """
+    if n < 1 or batch < 1:
+        raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
+    if streams < 1:
+        raise ShapeError(f"need at least one stream, got {streams}")
     ts = config.params.tilesize
     nbt = ntiles(n, ts)
     npad = nbt * ts
+    nchains = min(streams, batch)
+    nbrd = brd_launch_count(npad, ts, config.coeffs)
     nodes: List[LaunchNode] = []
 
-    def add(kind, stage, key, primary=True) -> None:
-        deps = (len(nodes) - 1,) if nodes else ()
-        nodes.append(LaunchNode(kind, stage, key, deps=deps, primary=primary))
+    for j in range(nchains):
+        probs = ("b", j, batch, nchains)
+        bcount = len(range(j, batch, nchains))
+        prev: Optional[int] = None
 
-    for k in range(nbt - 1):
-        w = nbt - 1 - k
-        width = w * ts * batch  # all problems' trailing columns in one grid
-        for r in (w, w - 1):  # RQ sweep, then LQ sweep
-            add("geqrt_b", Stage.PANEL, ("panel_b", batch, 1, 1))
-            add("unmqr_b", Stage.UPDATE, ("update", width, 1, False))
-            if r > 0:
-                add("ftsqrt_b", Stage.PANEL, ("panel_b", batch, r, 2))
-                add("ftsmqr_b", Stage.UPDATE, ("update", width, r, True))
-    add("geqrt_b", Stage.PANEL, ("panel_b", batch, 1, 1))
+        def add(kind, stage, key, meta, primary=True) -> None:
+            nonlocal prev
+            deps = (prev,) if prev is not None else ()
+            nodes.append(
+                LaunchNode(kind, stage, key, meta, deps, primary=primary)
+            )
+            prev = len(nodes) - 1
 
-    nbrd = brd_launch_count(npad, ts, config.coeffs)
-    for i in range(nbrd):
+        for k in range(nbt - 1):
+            w = nbt - 1 - k
+            width = w * ts * bcount  # this chain's trailing columns
+            for lq in (False, True):
+                row0 = k + 1 if lq else k
+                r = nbt - row0 - 1  # w on the RQ sweep, w - 1 on the LQ
+                sweep = 2 * k + (1 if lq else 0)
+                add(
+                    "geqrt_b", Stage.PANEL, ("panel_b", bcount, 1, 1),
+                    (probs, lq, row0, k, sweep),
+                )
+                add(
+                    "unmqr_b", Stage.UPDATE, ("update", width, 1, False),
+                    (probs, lq, row0, k, k + 1, 0, w * ts, sweep),
+                )
+                if r > 0:
+                    below = (row0 + 1, nbt)
+                    add(
+                        "ftsqrt_b", Stage.PANEL, ("panel_b", bcount, r, 2),
+                        (probs, lq, row0, k, below, sweep),
+                    )
+                    add(
+                        "ftsmqr_b", Stage.UPDATE, ("update", width, r, True),
+                        (probs, lq, row0, k, below, k + 1, 0, w * ts, sweep),
+                    )
         add(
-            "brd_chase_b", Stage.BRD, ("brd_b", batch, npad, ts),
-            primary=(i == 0),
+            "geqrt_b", Stage.PANEL, ("panel_b", bcount, 1, 1),
+            (probs, False, nbt - 1, nbt - 1, 2 * (nbt - 1)),
         )
-    add("bdsqr_cpu_b", Stage.SOLVE, ("solve_b", batch, n))
+        for i in range(nbrd):
+            add(
+                "brd_chase_b", Stage.BRD, ("brd_b", bcount, npad, ts),
+                (probs,), primary=(i == 0),
+            )
+        add("bdsqr_cpu_b", Stage.SOLVE, ("solve_b", bcount, n), (probs,))
+
     return LaunchGraph(
         nodes=nodes, kind="batched", n=n, npad=npad, ts=ts, nbt=nbt,
-        fused=True, batch=batch,
+        fused=True, streams=nchains, batch=batch,
     )
 
 
+def check_batched_capacity(
+    n: int, batch: int, config: SolveConfig, ngpu: int = 1
+) -> None:
+    """Raise :class:`CapacityError` if a device's sub-batch exceeds memory.
+
+    Each device of a round-robin batch shard holds ``ceil(batch / g)``
+    matrices, with the same 1.25 working-set factor the single-matrix
+    capacity model uses.
+    """
+    storage = config.require_precision("batched prediction")
+    spec = config.backend.device
+    per_dev = math.ceil(batch / max(1, ngpu))
+    if per_dev * n * n * storage.sizeof * 1.25 > spec.mem_bytes:
+        where = (
+            f"{spec.mem_gb} GiB device memory"
+            if ngpu == 1
+            else f"{spec.mem_gb} GiB per device across {ngpu} devices"
+        )
+        raise CapacityError(
+            f"batch of {batch} {n}x{n} {storage.name} matrices exceeds "
+            f"{where} (use more devices, out_of_core=True, or a smaller "
+            f"batch)"
+        )
+
+
 def predict_batched_resolved(
-    n: int, batch: int, config: SolveConfig
-) -> TimeBreakdown:
+    n: int,
+    batch: int,
+    config: SolveConfig,
+    ngpu: int = 1,
+    streams: int = 1,
+    out_of_core: bool = False,
+    link_gbs: Optional[float] = None,
+    budget_bytes: Optional[float] = None,
+    check_capacity: bool = True,
+):
     """Batched-prediction implementation against a resolved config.
 
     The single shared code path behind :meth:`repro.Solver.predict` with
-    ``batch=`` and the legacy :func:`predict_batched` shim: emit the
-    batched launch graph and price it analytically.
+    ``batch=`` and the legacy :func:`predict_batched` shim - and since
+    the graph-native batching PR the full composition pipeline: emit the
+    batched launch graph (``streams`` chains), shard the batch round-robin
+    across ``ngpu`` devices with an explicit ``batch_gather`` comm node,
+    rewrite each device's chains against its memory budget
+    (``out_of_core=True``: whole problems stream through the window,
+    sharing the budget across in-flight problems), and price the result -
+    analytically for ``streams == 1``, through the device-aware list
+    scheduler otherwise (returning a
+    :class:`~repro.sim.timeline.StreamSchedule`).
     """
-    be = config.backend
     storage = config.require_precision("batched prediction")
     if n < 1 or batch < 1:
         raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
-    spec = be.device
-    total_elems = batch * n * n
-    if total_elems * storage.sizeof * 1.25 > spec.mem_bytes:
-        raise CapacityError(
-            f"batch of {batch} {n}x{n} {storage.name} matrices exceeds "
-            f"{spec.mem_gb} GiB device memory"
+    if check_capacity and not out_of_core:
+        check_batched_capacity(n, batch, config, ngpu)
+
+    # lazy: the rewriters live in repro.sim, which core already imports,
+    # but partition/outofcore import this module's graph kinds
+    from ..sim.outofcore import rewrite_out_of_core
+    from ..sim.partition import partition_graph, price_partitioned
+    from ..sim.timeline import schedule_streams
+
+    graph = emit_batched_graph(n, batch, config, streams=streams)
+    if ngpu > 1:
+        graph = partition_graph(graph, ngpu, config.link_spec(link_gbs))
+    if out_of_core:
+        graph = rewrite_out_of_core(
+            graph, config, storage, budget_bytes=budget_bytes
         )
-    graph = emit_batched_graph(n, batch, config)
+    if streams > 1:
+        return schedule_streams(graph, config, storage, streams)
+    if ngpu > 1:
+        return price_partitioned(graph, config, storage)
     return AnalyticExecutor(config, storage).run(graph)
+
+
+def batched_closed_form_resolved(
+    n: int, batch: int, config: SolveConfig
+) -> TimeBreakdown:
+    """Legacy closed-form batched model (kept as a consistency oracle).
+
+    This is the pre-composition pricing: one serial chain of aggregate
+    batched launches on one device, summed step by step - no partitioning,
+    no streaming, no transfers.  The graph path
+    (:func:`emit_batched_graph` + analytic pricing) replaced it;
+    ``tests/test_batched_compose.py`` pins the two models against each
+    other within tolerance, so the graph-native pricing cannot silently
+    drift from the physics this formula encodes.
+    """
+    storage = config.require_precision("batched prediction")
+    if n < 1 or batch < 1:
+        raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
+    spec = config.backend.device
+    params, coeffs = config.params, config.coeffs
+    compute = config.backend.compute_precision(storage)
+    ts = params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    over = spec.launch_overhead_s
+    rounds = max(1, math.ceil(batch / spec.sm_count))
+
+    panel_s = update_s = 0.0
+    flops = nbytes = 0.0
+    launches = {"geqrt_b": 0, "unmqr_b": 0, "ftsqrt_b": 0, "ftsmqr_b": 0}
+
+    def charge_panel(nbodies: int, body_tiles: int) -> float:
+        nonlocal flops, nbytes
+        one = panel_cost(
+            spec, params, storage, compute, nbodies, body_tiles, coeffs
+        )
+        flops += one.flops * batch
+        nbytes += one.bytes * batch
+        return one.seconds * rounds + over
+
+    def charge_update(width: int, nrows: int, top: bool) -> float:
+        nonlocal flops, nbytes
+        cost = update_cost(
+            spec, params, storage, compute, width, nrows, top, coeffs
+        )
+        flops += cost.flops
+        nbytes += cost.bytes
+        return cost.seconds + over
+
+    for k in range(nbt - 1):
+        w = nbt - 1 - k
+        width = w * ts * batch
+        for r in (w, w - 1):  # RQ sweep, then LQ sweep
+            panel_s += charge_panel(1, 1)
+            update_s += charge_update(width, 1, False)
+            launches["geqrt_b"] += 1
+            launches["unmqr_b"] += 1
+            if r > 0:
+                panel_s += charge_panel(r, 2)
+                update_s += charge_update(width, r, True)
+                launches["ftsqrt_b"] += 1
+                launches["ftsmqr_b"] += 1
+    panel_s += charge_panel(1, 1)
+    launches["geqrt_b"] += 1
+
+    one_brd = brd_cost(spec, npad, ts, storage, compute, coeffs)
+    nbrd = brd_launch_count(npad, ts, coeffs)
+    brd_s = (
+        max(
+            one_brd.compute_seconds * batch,
+            one_brd.memory_seconds * batch,
+            one_brd.seconds,
+        )
+        + nbrd * over
+    )
+    flops += one_brd.flops * batch
+    nbytes += one_brd.bytes * batch
+    launches["brd_chase_b"] = nbrd
+
+    one_solve = bidiag_solve_cost(spec, n, storage, coeffs)
+    solve_s = one_solve.compute_seconds * batch + coeffs.cpu_call_overhead_s
+    flops += one_solve.flops * batch
+    launches["bdsqr_cpu_b"] = 1
+
+    return TimeBreakdown(
+        n=n, panel_s=panel_s, update_s=update_s, brd_s=brd_s,
+        solve_s=solve_s, launches=launches, flops=flops, bytes=nbytes,
+    )
 
 
 def predict_batched(
@@ -120,7 +344,8 @@ def predict_batched(
     per step (they parallelize perfectly across problems), update kernels
     process ``batch x width`` columns, and the stage-2/3 work scales
     linearly while sharing launch overheads.  Thin shim over
-    :class:`repro.Solver`.
+    :class:`repro.Solver`; compose with ``ngpu`` / ``streams`` /
+    ``out_of_core`` through :meth:`repro.Solver.predict` directly.
     """
     from ..solver import Solver
 
@@ -128,6 +353,84 @@ def predict_batched(
         backend=backend, precision=precision, params=params, coeffs=coeffs
     )
     return solver.predict(n, batch=batch)
+
+
+def replay_batched_graph(
+    As: Union[np.ndarray, Sequence[np.ndarray]],
+    graph: LaunchGraph,
+    config: SolveConfig,
+) -> np.ndarray:
+    """Numerically replay a replayable batched launch graph.
+
+    Accepts any batched graph in replayable form - straight from
+    :func:`emit_batched_graph` (any ``streams``), sharded by
+    :func:`repro.sim.partition.partition_graph`, and/or rewritten by
+    :func:`repro.sim.outofcore.rewrite_out_of_core` - and executes it
+    through the :class:`~repro.sim.graph.NumericExecutor` on a 3-D
+    workspace stack.  Each problem runs the exact kernel sequence of the
+    square driver, so the returned ``(batch, n)`` values are bitwise
+    identical to solving every matrix alone (out-of-core graphs replay
+    under the enforced problem-window budget).
+    """
+    if isinstance(As, np.ndarray):
+        if As.ndim != 3:
+            raise ShapeError(f"expected (batch, n, n) array, got {As.shape}")
+        mats: List[np.ndarray] = [As[i] for i in range(As.shape[0])]
+    else:
+        mats = [np.asarray(a) for a in As]
+    if not mats:
+        raise ShapeError("empty batch")
+    n = mats[0].shape[0]
+    if n == 0:
+        raise ShapeError("empty matrix")
+    for a in mats:
+        if a.shape != (n, n):
+            raise ShapeError("all batch matrices must be square and equal-size")
+    if graph.kind != "batched" or graph.counted:
+        raise ShapeError(
+            f"replay_batched_graph needs a replayable batched graph, got "
+            f"kind={graph.kind!r} (counted={graph.counted})"
+        )
+    if graph.n != n or graph.batch != len(mats):
+        raise ShapeError(
+            f"graph was emitted for batch={graph.batch} n={graph.n}, got "
+            f"batch={len(mats)} n={n}"
+        )
+
+    storage = config.storage_for(mats[0].dtype)
+    if graph.ts != config.params.tilesize:
+        raise ShapeError(
+            f"graph tilesize {graph.ts} does not match config tilesize "
+            f"{config.params.tilesize}"
+        )
+    if config.check_finite and any(
+        not np.all(np.isfinite(a)) for a in mats
+    ):
+        raise ShapeError("input matrix contains NaN or Inf entries")
+    compute = config.backend.compute_precision(storage)
+    compute_dtype = compute.dtype if compute is not storage else None
+
+    npad = graph.npad
+    W = np.zeros((len(mats), npad, npad), dtype=storage.dtype)
+    scales = []
+    for p, a in enumerate(mats):
+        scale = _rescale_factor(a, storage) if config.rescale else 1.0
+        scales.append(scale)
+        W[p, :n, :n] = a if scale == 1.0 else a * scale
+
+    ex = NumericExecutor(
+        W, graph.ts, storage.eps, session=None, compute_dtype=compute_dtype,
+        storage=storage, stage3=config.stage3,
+    )
+    ex.run(graph)
+
+    out = np.empty((len(mats), n), dtype=np.float64)
+    for p, scale in enumerate(scales):
+        vals = ex.values_by_problem[p][:n].copy()
+        if scale != 1.0:
+            vals /= scale
+        out[p] = vals
+    return out
 
 
 def svdvals_batched_resolved(

@@ -78,6 +78,7 @@ def run_fusion(
 
 
 def render_fusion(rows: List[FusionRow]) -> str:
+    """Format the fusion ablation rows as an ASCII table."""
     body = [
         [
             str(r.n),
@@ -123,6 +124,7 @@ def run_splitk(
 
 
 def render_splitk(rows: List[SplitkRow]) -> str:
+    """Format the SPLITK ablation rows as an ASCII table."""
     body = [
         [
             str(r.n),
@@ -140,6 +142,7 @@ def render_splitk(rows: List[SplitkRow]) -> str:
 
 
 def main() -> str:
+    """Render both ablation tables and return the combined text."""
     out = "\n\n".join(
         [render_fusion(run_fusion()), render_splitk(run_splitk())]
     )

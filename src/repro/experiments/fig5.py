@@ -95,6 +95,7 @@ def render(series: List[Fig5Series]) -> str:
 
 
 def main() -> str:
+    """Render the Figure 5 portability table and return its text."""
     out = render(run())
     print(out)
     return out

@@ -92,6 +92,7 @@ def render(rows: List[Fig6Row]) -> str:
 
 
 def main() -> str:
+    """Render the Figure 6 stage-share table and return its text."""
     out = render(run())
     print(out)
     return out

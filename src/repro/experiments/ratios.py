@@ -186,6 +186,7 @@ def render_table4(table: Dict[str, Dict[str, RatioCurve]]) -> str:
 
 
 def main() -> str:
+    """Render every ratio table and return the combined text."""
     parts = [
         render_curves(fig4_curves(), "Figure 4: unified vs vendor libraries"),
         render_curves(fig3_curves(), "Figure 3: unified vs MAGMA / SLATE"),

@@ -102,6 +102,7 @@ def render(cells: List[Table3Cell], sizes: Sequence[int] = SIZES_TABLE3) -> str:
 
 
 def main() -> str:
+    """Render the Table 3 hyperparameter table and return its text."""
     out = render(run())
     print(out)
     return out

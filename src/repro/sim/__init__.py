@@ -9,9 +9,11 @@ prices the same graph without numerics for arbitrary matrix sizes
 (:func:`predict`), and :func:`schedule_streams` prices multi-stream
 lookahead overlap with a greedy critical-path scheduler.  Graph
 rewriters extend the same IR across devices and memory tiers:
-:func:`partition_graph` shards a graph tile-row-wise with explicit comm
-nodes, and :func:`rewrite_out_of_core` streams tile panels through a
-bounded device window with explicit host-link transfer nodes.
+:func:`partition_graph` shards a graph across devices with explicit comm
+nodes (square graphs tile-row-wise, batched graphs round-robin over
+problems), and :func:`rewrite_out_of_core` streams it through a bounded
+device window with explicit host-link transfer nodes (square graphs by
+tile panels, batched graphs by whole problems).
 """
 
 from .costmodel import (

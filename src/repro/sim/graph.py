@@ -68,6 +68,7 @@ from .tracing import Stage
 
 __all__ = [
     "AnalyticExecutor",
+    "BATCHED_KINDS",
     "COMM_KINDS",
     "LaunchGraph",
     "LaunchNode",
@@ -75,6 +76,8 @@ __all__ = [
     "TRANSFER_KINDS",
     "node_overhead_s",
     "price_node",
+    "problem_range",
+    "rekey_batched",
 ]
 
 #: Cost-key families charged without a GPU launch overhead: CPU-side
@@ -84,8 +87,47 @@ _NO_OVERHEAD_FAMILIES = ("solve", "solve_b", "comm")
 #: Node kinds of the explicit communication launches a partitioned graph
 #: carries (see :mod:`repro.sim.partition`).  They move data between
 #: devices, never compute, and are numeric no-ops on the shared-memory
-#: simulation fabric.
-COMM_KINDS = ("panel_bcast", "boundary_x", "band_gather")
+#: simulation fabric.  ``batch_gather`` is the single comm node of a
+#: partitioned *batched* graph: devices solve disjoint problem subsets
+#: independently, so the gather of their results is the only movement.
+COMM_KINDS = ("panel_bcast", "boundary_x", "band_gather", "batch_gather")
+
+#: Kinds of the batched launch graph (see ``repro.core.emit_batched_graph``):
+#: each launch covers one *subset of problems* (``meta[0]``) with a single
+#: grid.  The suffixed kinds mirror the square stage-1/2/3 kinds and carry
+#: the same per-problem tile coordinates in ``meta[1:]``.
+BATCHED_KINDS = (
+    "geqrt_b", "unmqr_b", "ftsqrt_b", "ftsmqr_b", "tsqrt_b", "tsmqr_b",
+    "brd_chase_b", "bdsqr_cpu_b",
+)
+
+
+def problem_range(probs: Tuple) -> range:
+    """Decode a batched node's ``("b", start, stop, step)`` problem subset.
+
+    Every batched launch covers the problem indices
+    ``range(start, stop, step)`` of the batch — a compact encoding closed
+    under the round-robin splits of the stream axis (chains), the device
+    axis (:func:`repro.sim.partition.partition_graph`) and the contiguous
+    window slices of the out-of-core rewriter.
+    """
+    return range(probs[1], probs[2], probs[3])
+
+
+def rekey_batched(key: Tuple, old_count: int, new_count: int) -> Tuple:
+    """Re-price a batched cost key for a different problem count.
+
+    Used by the graph rewriters when they split one batched launch into
+    per-device or per-window sub-launches: ``panel_b`` / ``brd_b`` /
+    ``solve_b`` keys carry the count directly, ``update`` keys scale
+    their column width (which is ``per-problem width x count``).
+    """
+    family = key[0]
+    if family in ("panel_b", "brd_b", "solve_b"):
+        return (family, new_count) + key[2:]
+    if family == "update":
+        return ("update", key[1] // old_count * new_count) + key[2:]
+    raise ValueError(f"not a batched cost key: {key!r}")
 
 #: Node kinds of the explicit host<->device transfers an out-of-core
 #: rewritten graph carries (see :mod:`repro.sim.outofcore`).  Like comm
@@ -154,6 +196,10 @@ class LaunchGraph:
     #: Per-device window capacity (in tiles) of an out-of-core graph;
     #: the numeric executor enforces it during replay.
     oc_capacity_tiles: Optional[int] = None
+    #: Per-device window capacity (in *problems*) of an out-of-core
+    #: batched graph: whole problems stream through the device window,
+    #: sharing the budget across every in-flight problem.
+    oc_capacity_problems: Optional[int] = None
     #: True when identical consecutive launches are folded into counted
     #: nodes (analytic-only; keeps the unfused O(tiles^2) launch schedule
     #: priceable in O(tiles) nodes, like the pre-graph closed form).
@@ -395,6 +441,12 @@ class NumericExecutor:
         #: in-core graphs); installed by :meth:`run` from the graph's
         #: declared window capacity and enforced on every node.
         self._window = None
+        #: Batched replay (``W`` is a ``(batch, npad, npad)`` stack):
+        #: per-problem child executors, created lazily, each replaying
+        #: the square-kind body of a batched launch on its own slice.
+        self._subs: Dict[int, "NumericExecutor"] = {}
+        #: problem index -> float64 singular values (batched replay).
+        self.values_by_problem: Dict[int, object] = {}
         self._tau0: Dict[int, object] = {}
         #: sweep -> (first row, stop row, tau list) of the live FTSQRT
         #: output; partitioned graphs consume it chunk by chunk.
@@ -422,8 +474,12 @@ class NumericExecutor:
         """Execute all nodes (a :class:`LaunchGraph` or a node list)."""
         nodes = graph.nodes if isinstance(graph, LaunchGraph) else graph
         if isinstance(graph, LaunchGraph) and (
-            graph.streams != 1 or graph.counted
+            graph.counted
+            or (graph.streams != 1 and graph.kind != "batched")
         ):
+            # batched multi-stream graphs split the *problem set* into
+            # chains, not a launch into column chunks, so they stay
+            # replayable; square lookahead graphs are analytic-only
             raise ValueError(
                 "multi-stream and counted graphs are analytic-only; emit "
                 "with streams=1, counted=False for numeric replay"
@@ -463,6 +519,9 @@ class NumericExecutor:
             return
         if self._window is not None:
             self._window.require(node)
+        if kind in BATCHED_KINDS:
+            self._dispatch_batched(node)
+            return
         ts = self.ts
         geqrt, unmqr, ftsqrt, ftsmqr, tsqrt, tsmqr = self._k
         tile = self._tile
@@ -586,6 +645,45 @@ class NumericExecutor:
                 self.session.launch_comm(kind, node.key)
         else:  # pragma: no cover - emitter bug
             raise ValueError(f"unknown launch kind {kind!r}")
+
+    def _sub(self, p: int) -> "NumericExecutor":
+        """Child executor replaying problem ``p`` of a batched workspace."""
+        ex = self._subs.get(p)
+        if ex is None:
+            ex = NumericExecutor(
+                self.W[p], self.ts, self.eps, session=None,
+                compute_dtype=self.compute_dtype, storage=self.storage,
+                stage3=self.stage3,
+            )
+            self._subs[p] = ex
+        return ex
+
+    def _dispatch_batched(self, node: LaunchNode) -> None:
+        """Replay one batched launch: its square body, per covered problem.
+
+        ``meta[0]`` names the problem subset; ``meta[1:]`` is exactly the
+        square node's meta, so each problem executes kernel-for-kernel the
+        sequence the square driver would run — batched replay is bitwise
+        identical to solving every matrix alone (pinned in
+        ``tests/test_batched_compose.py``).  Requires a 3-D ``W`` stack.
+        """
+        probs = problem_range(node.meta[0])
+        base = node.kind[:-2]  # strip the "_b" suffix
+        if base == "brd_chase":
+            if node.primary:
+                for p in probs:
+                    self._sub(p)._run_stage2()
+            return
+        if base == "bdsqr_cpu":
+            sq = LaunchNode(base, node.stage, ("solve", node.key[2]))
+            for p in probs:
+                sub = self._sub(p)
+                sub._dispatch(sq)
+                self.values_by_problem[p] = sub.values
+            return
+        sq = LaunchNode(base, node.stage, node.key, node.meta[1:])
+        for p in probs:
+            self._sub(p)._dispatch(sq)
 
     def _run_stage2(self) -> None:
         """Band -> bidiagonal numerics (once, on the first stage-2 node)."""

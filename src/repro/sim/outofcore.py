@@ -48,6 +48,15 @@ returned unchanged, so ``io_s`` is nonzero only past capacity and the
 in-core prediction is reproduced exactly.  The pre-rewriter closed form
 survives as :func:`repro.sim.scaling.out_of_core_closed_form_resolved`,
 the consistency oracle the tests pin this path against.
+
+Batched graphs rewrite at *problem* granularity instead: a batch is many
+independent small matrices, so whole problems stream through the device
+window (the budget shared across every in-flight problem), each window
+running the full three-stage pipeline for its problems between one
+``h2d_tile`` load and one ``d2h_tile`` band write-back, double-buffered
+so the prefetch of the next window overlaps the compute of the current
+one.  Replay enforces residency per problem through the same
+:class:`WindowTracker`.
 """
 
 from __future__ import annotations
@@ -57,7 +66,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import CapacityError
 from .costmodel import LinkSpec
-from .graph import COMM_KINDS, LaunchGraph, LaunchNode
+from .graph import (
+    COMM_KINDS,
+    LaunchGraph,
+    LaunchNode,
+    problem_range,
+    rekey_batched,
+)
 from .tracing import Stage
 
 __all__ = [
@@ -193,7 +208,14 @@ class WindowTracker:
     def __init__(self, graph: LaunchGraph) -> None:
         from ..backends.memory import TileResidency
 
-        if graph.oc_capacity_tiles is None:
+        #: Batched graphs track residency at *problem* granularity: the
+        #: window holds whole problems, one slot per matrix.
+        self.batched = graph.kind == "batched"
+        cap = (
+            graph.oc_capacity_problems if self.batched
+            else graph.oc_capacity_tiles
+        )
+        if cap is None:
             raise ValueError(
                 "out-of-core graph carries no window capacity; rewrite it "
                 "with rewrite_out_of_core"
@@ -202,7 +224,6 @@ class WindowTracker:
         self.nbt = graph.nbt
         #: tile-equivalents the stage-2 band buffer occupies
         self.band_tiles = -(-(graph.npad * (graph.ts + 1)) // graph.ts**2)
-        cap = graph.oc_capacity_tiles
         self._res = {
             d: TileResidency(cap, device=d) for d in range(max(1, graph.ngpu))
         }
@@ -213,6 +234,14 @@ class WindowTracker:
     def on_transfer(self, node: LaunchNode) -> None:
         """Apply one ``h2d_tile`` / ``d2h_tile`` node to the window."""
         res = self._dev(node)
+        if node.meta and node.meta[0] == "bwin":
+            # batched window: whole problems move in and out
+            probs = problem_range(node.meta)
+            if node.kind == "h2d_tile":
+                res.load(probs)
+            else:
+                res.evict(probs)
+            return
         if node.meta and node.meta[0] == "band":
             res.load_band(self.band_tiles if node.kind == "h2d_tile" else 0)
             return
@@ -223,14 +252,176 @@ class WindowTracker:
             res.evict(tiles)
 
     def require(self, node: LaunchNode) -> None:
-        """Fault unless a compute node's tiles are resident."""
+        """Fault unless a compute node's tiles (or problems) are resident."""
         kind = node.kind
-        if kind in COMM_KINDS or kind == "bdsqr_cpu":
-            return  # device-device movement / CPU solve: no window tiles
+        if kind in COMM_KINDS:
+            return  # device-device movement: no window tiles
+        if self.batched:
+            # every batched launch (incl. stage 2/3) touches the matrices
+            # of its problem subset, which must be in the window
+            self._dev(node).require(problem_range(node.meta[0]), kind)
+            return
+        if kind == "bdsqr_cpu":
+            return  # CPU solve: no window tiles
         if kind == "brd_chase":
             self._dev(node).require_band(kind)
             return
         self._dev(node).require(_node_tiles(node, self.ts), kind)
+
+
+# --------------------------------------------------------------------- #
+# the batched rewriter: whole problems stream through the window
+# --------------------------------------------------------------------- #
+def _rewrite_batched(
+    graph: LaunchGraph, config, storage, budget_bytes: float
+) -> LaunchGraph:
+    """Rewrite a batched graph to stream whole problems through the window.
+
+    A batch is many independent small matrices, so the natural streaming
+    granularity is the *problem*, not the tile: the device window holds
+    as many padded matrices as the budget allows (the budget is shared
+    across every in-flight problem), each chain of the graph is re-emitted
+    window-major - load a window of problems (one ``h2d_tile``), run the
+    full three-stage pipeline for exactly those problems, write their
+    bands back (one ``d2h_tile``) - and double-buffering lets the
+    prefetch of window ``w+1`` overlap the compute of window ``w`` under
+    :func:`repro.sim.timeline.schedule_streams`: a load depends only on
+    the eviction that frees its buffer.  A graph whose every device
+    sub-batch fits the budget is returned unchanged (``io_s`` is nonzero
+    only past capacity); once any device must stream, every device loads
+    its problems from the host - devices whose sub-batch fits move it as
+    one whole window, so replay-side residency enforcement stays
+    coherent across devices.
+    """
+    sizeof = storage.sizeof
+    npad, ts = graph.npad, graph.ts
+    per_prob = npad * npad * sizeof * _WORKING_FACTOR
+    pcap = int(budget_bytes // per_prob)
+
+    # chain discovery: every (device, problem subset) pair is one serial
+    # chain; comm nodes (the gather of a partitioned batch) pass through
+    chains: Dict[Tuple, List[int]] = {}
+    comm_idx: List[int] = []
+    for i, node in enumerate(graph.nodes):
+        if node.kind in COMM_KINDS:
+            comm_idx.append(i)
+            continue
+        chains.setdefault(node.meta[0], []).append(i)
+    by_dev: Dict[int, List[Tuple]] = {}
+    for probs, idxs in chains.items():
+        dev = graph.nodes[idxs[0]].device or 0
+        by_dev.setdefault(dev, []).append(probs)
+    needs = {
+        dev: sum(len(problem_range(p)) for p in plist) * per_prob
+        > budget_bytes
+        for dev, plist in by_dev.items()
+    }
+    if not any(needs.values()):
+        return graph
+    for dev, plist in by_dev.items():
+        if needs[dev] and pcap < len(plist):
+            raise CapacityError(
+                f"out-of-core window of {budget_bytes / 2**30:.2f} GiB "
+                f"holds {pcap} {graph.n}x{graph.n} ({storage.name}) "
+                f"problems; device {dev} runs {len(plist)} concurrent "
+                f"chains and needs at least one resident problem per "
+                f"chain - raise the budget or lower streams"
+            )
+
+    bw, lat = config.coeffs.pcie_gbs, config.coeffs.pcie_latency_us
+    new_nodes: List[LaunchNode] = []
+    mapped: Dict[int, Tuple[int, ...]] = {}
+
+    def add(node: LaunchNode) -> int:
+        new_nodes.append(node)
+        return len(new_nodes) - 1
+
+    def xfer(kind: str, elems: int, meta: Tuple, deps, device) -> int:
+        return add(
+            LaunchNode(
+                kind,
+                Stage.TRANSFER,
+                ("comm", int(elems), 1, bw, lat),
+                meta,
+                tuple(deps),
+                device=device,
+            )
+        )
+
+    for dev in sorted(by_dev):
+        plist = by_dev[dev]
+        # the device budget is shared across its concurrent chains; a
+        # device whose whole sub-batch fits still loads it from the host
+        # (one window per chain) - in a host-resident plan every device's
+        # problems start on the host, and replay enforces residency on
+        # every device
+        share = pcap // len(plist)
+        for probs in plist:
+            idxs = chains[probs]
+            pr = problem_range(probs)
+            old_count = len(pr)
+            if needs[dev]:
+                wsize, buffers = (share // 2, 2) if share >= 2 else (1, 1)
+            else:
+                wsize, buffers = max(1, old_count), 1
+            nwin = -(-old_count // wsize)
+            d2h_of: Dict[int, int] = {}
+            parts: Dict[int, List[int]] = {oi: [] for oi in idxs}
+            for w in range(nwin):
+                pw = pr[w * wsize : (w + 1) * wsize]
+                wcount = len(pw)
+                wmeta = ("bwin", pw.start, pw.stop, pw.step)
+                hdeps = (
+                    (d2h_of[w - buffers],) if w - buffers in d2h_of else ()
+                )
+                prev = xfer(
+                    "h2d_tile", wcount * npad * npad, wmeta, hdeps, dev
+                )
+                for oi in idxs:
+                    node = graph.nodes[oi]
+                    prev = add(
+                        LaunchNode(
+                            node.kind,
+                            node.stage,
+                            rekey_batched(node.key, old_count, wcount),
+                            (("b", pw.start, pw.stop, pw.step),)
+                            + node.meta[1:],
+                            (prev,),
+                            primary=node.primary,
+                            device=node.device,
+                        )
+                    )
+                    parts[oi].append(prev)
+                # results travel back as the reduced bands (the values
+                # themselves are tiny); the eviction frees the buffer
+                d2h_of[w] = xfer(
+                    "d2h_tile", wcount * npad * (ts + 1), wmeta, (prev,), dev
+                )
+            for oi, p in parts.items():
+                mapped[oi] = tuple(p)
+    for oi in comm_idx:
+        node = graph.nodes[oi]
+        deps = tuple(m for d in node.deps for m in mapped[d])
+        mapped[oi] = (add(
+            LaunchNode(node.kind, node.stage, node.key, node.meta, deps,
+                       primary=node.primary, device=node.device)
+        ),)
+
+    return LaunchGraph(
+        nodes=new_nodes,
+        kind=graph.kind,
+        n=graph.n,
+        npad=npad,
+        ts=ts,
+        nbt=graph.nbt,
+        fused=graph.fused,
+        streams=graph.streams,
+        batch=graph.batch,
+        mpad=graph.mpad,
+        ngpu=graph.ngpu,
+        out_of_core=True,
+        oc_capacity_problems=pcap,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -298,10 +489,10 @@ def rewrite_out_of_core(
             "counted graphs fold launch runs without tile metadata and "
             "cannot be rewritten; emit with counted=False"
         )
-    if graph.kind != "square":
+    if graph.kind not in ("square", "batched"):
         raise ValueError(
-            f"only square solve graphs can be rewritten out-of-core, "
-            f"got {graph.kind!r}"
+            f"only square and batched solve graphs can be rewritten "
+            f"out-of-core, got {graph.kind!r}"
         )
     if graph.out_of_core:
         raise ValueError("graph is already rewritten out-of-core")
@@ -311,6 +502,8 @@ def rewrite_out_of_core(
         raise CapacityError(
             f"device budget must be positive, got {budget_bytes}"
         )
+    if graph.kind == "batched":
+        return _rewrite_batched(graph, config, storage, budget_bytes)
     sizeof = storage.sizeof
     if _fits_in_core(graph, sizeof, budget_bytes):
         return graph

@@ -41,6 +41,13 @@ critical path), and communication is reported as its own ``comm_s``
 component.  :func:`check_shard_capacity` is the multi-device analogue of
 ``Backend.check_capacity``: each device must hold its tile-row shard
 plus a panel copy.
+
+Batched graphs partition at *problem* granularity instead: problems are
+independent, so every aggregate launch splits into per-device launches
+over round-robin problem subsets, chains carry no cross-device
+dependencies, and a single ``batch_gather`` comm node collecting the
+results to device 0 is the only communication.  Pricing is
+device-concurrent (each stage charges its maximum over devices).
 """
 
 from __future__ import annotations
@@ -50,7 +57,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import CapacityError, ShapeError
 from .costmodel import LinkSpec
-from .graph import LaunchGraph, LaunchNode, node_overhead_s, price_node
+from .graph import (
+    LaunchGraph,
+    LaunchNode,
+    node_overhead_s,
+    price_node,
+    problem_range,
+    rekey_batched,
+)
 from .schedule import TimeBreakdown
 from .tracing import Stage
 
@@ -144,12 +158,15 @@ def partition_graph(
             "first, then rewrite_out_of_core - this graph is already "
             "rewritten out-of-core"
         )
-    if graph.kind != "square":
-        raise ValueError(
-            f"only square solve graphs can be partitioned, got {graph.kind!r}"
-        )
     if link is None:
         raise ValueError("partitioning across devices requires a LinkSpec")
+    if graph.kind == "batched":
+        return _partition_batched(graph, ngpu, link)
+    if graph.kind != "square":
+        raise ValueError(
+            f"only square and batched solve graphs can be partitioned, "
+            f"got {graph.kind!r}"
+        )
 
     ts, nbt, npad = graph.ts, graph.nbt, graph.npad
     bw, lat = link.bandwidth_gbs, link.latency_us
@@ -310,6 +327,142 @@ def partition_graph(
     )
 
 
+def _partition_batched(
+    graph: LaunchGraph, ngpu: int, link: LinkSpec
+) -> LaunchGraph:
+    """Shard a batched launch graph round-robin across ``ngpu`` devices.
+
+    Problems are independent, so the partition is embarrassingly simple:
+    every aggregate launch splits into per-device launches covering that
+    device's round-robin problem subset (device ``d`` of a node covering
+    ``range(start, stop, step)`` takes ``range(start + d*step, stop,
+    step*g)``), chains stay serial *within* a device and carry no
+    cross-device dependencies, and communication is a single
+    ``batch_gather`` comm node collecting the non-root devices' singular
+    values to device 0 - the only inter-device movement a batch needs.
+    Devices left without problems (``g > batch``) receive no nodes.
+    """
+    bw, lat = link.bandwidth_gbs, link.latency_us
+    new_nodes: List[LaunchNode] = []
+    #: old node index -> device -> replacement index
+    mapped: List[Dict[int, int]] = []
+    solve_tails: List[int] = []
+    remote_problems = 0
+
+    for node in graph.nodes:
+        probs = node.meta[0]
+        start, stop, step = probs[1], probs[2], probs[3]
+        old_count = len(problem_range(probs))
+        per: Dict[int, int] = {}
+        for d in range(ngpu):
+            dprobs = ("b", start + d * step, stop, step * ngpu)
+            bcount = len(problem_range(dprobs))
+            if bcount == 0:
+                continue
+            deps = tuple(
+                mapped[dep][d] for dep in node.deps if d in mapped[dep]
+            )
+            new_nodes.append(
+                LaunchNode(
+                    node.kind,
+                    node.stage,
+                    rekey_batched(node.key, old_count, bcount),
+                    (dprobs,) + node.meta[1:],
+                    deps,
+                    primary=node.primary,
+                    device=d,
+                )
+            )
+            per[d] = len(new_nodes) - 1
+            if node.kind == "bdsqr_cpu_b":
+                solve_tails.append(per[d])
+                if d != 0:
+                    remote_problems += bcount
+        mapped.append(per)
+
+    # one gather of the non-root devices' results (n values per problem)
+    new_nodes.append(
+        LaunchNode(
+            "batch_gather",
+            Stage.COMM,
+            ("comm", remote_problems * graph.n, 1, bw, lat),
+            deps=tuple(solve_tails),
+            device=0,
+        )
+    )
+
+    return LaunchGraph(
+        nodes=new_nodes,
+        kind=graph.kind,
+        n=graph.n,
+        npad=graph.npad,
+        ts=graph.ts,
+        nbt=graph.nbt,
+        fused=graph.fused,
+        streams=graph.streams,
+        batch=graph.batch,
+        mpad=graph.mpad,
+        ngpu=ngpu,
+    )
+
+
+def _price_batched_partitioned(
+    graph: LaunchGraph,
+    config,
+    storage,
+    cache: Optional[dict] = None,
+) -> TimeBreakdown:
+    """Price a partitioned batched graph into a :class:`TimeBreakdown`.
+
+    Devices own disjoint problem subsets and share no dependencies until
+    the final gather, so every compute stage charges the *maximum* over
+    devices of that device's stage time (concurrent devices), transfers
+    likewise per device into ``io_s``, and the gather lands in
+    ``comm_s``.  Launch counts come from the partitioned graph itself.
+    """
+    spec = config.backend.device
+    compute = config.backend.compute_precision(storage)
+    if cache is None:
+        cache = {}
+
+    # stage -> device -> accumulated seconds (incl. overheads)
+    per_dev: Dict[str, Dict[int, float]] = {}
+    comm_s = 0.0
+    launches: Dict[str, int] = {}
+    flops = 0.0
+    nbytes = 0.0
+    for node in graph.nodes:
+        cost = price_node(node, config, storage, compute, cache)
+        overhead = node_overhead_s(node, spec)
+        flops += cost.flops
+        nbytes += cost.bytes
+        launches[node.kind] = launches.get(node.kind, 0) + node.count
+        if node.stage == Stage.COMM:
+            comm_s += cost.seconds
+            continue
+        stage_devs = per_dev.setdefault(node.stage, {})
+        dev = node.device or 0
+        stage_devs[dev] = stage_devs.get(dev, 0.0) + cost.seconds + overhead
+
+    def stage_max(stage: str) -> float:
+        devs = per_dev.get(stage)
+        return max(devs.values()) if devs else 0.0
+
+    return TimeBreakdown(
+        n=graph.n,
+        panel_s=stage_max(Stage.PANEL),
+        update_s=stage_max(Stage.UPDATE),
+        brd_s=stage_max(Stage.BRD),
+        solve_s=stage_max(Stage.SOLVE),
+        comm_s=comm_s,
+        io_s=stage_max(Stage.TRANSFER),
+        launches=launches,
+        flops=flops,
+        bytes=nbytes,
+        ngpu=graph.ngpu,
+    )
+
+
 def price_partitioned(
     graph: LaunchGraph,
     config,
@@ -327,7 +480,12 @@ def price_partitioned(
     column-pipelined overlap), every comm node lands in ``comm_s``, and
     the host-link transfers of an out-of-core rewritten shard land in
     ``io_s``.  Launch counts come from the partitioned graph itself.
+    Partitioned *batched* graphs price device-concurrently instead:
+    every stage charges the maximum over devices (devices own disjoint
+    problem subsets), with the gather as ``comm_s``.
     """
+    if graph.kind == "batched":
+        return _price_batched_partitioned(graph, config, storage, cache)
     spec = config.backend.device
     compute = config.backend.compute_precision(storage)
     if cache is None:

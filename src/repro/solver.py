@@ -15,6 +15,11 @@ math libraries (cuSOLVER handles, FFTW plans):
   between ``svdvals`` / ``svdvals_rect`` / ``svdvals_batched`` by hand;
 * :meth:`Solver.predict` is the one prediction front door replacing the
   four ``predict*`` variants (single-GPU, batched, multi-GPU, out-of-core);
+  its execution axes (``batch``, ``streams``, ``ngpu``, ``out_of_core``)
+  all compose through one emit -> partition -> rewrite -> price pipeline;
+* :meth:`Solver.tune` searches those axes analytically (plus the kernel
+  hyperparameters) and returns a ranked :class:`~repro.tuning.TunePlan`
+  that constructs the winning handle;
 * :meth:`Solver.plan` returns a reusable :class:`SvdPlan` that precomputes
   the padding/tiling metadata, capacity check, padded workspace and launch
   prices for one problem shape, so repeated same-shape solves skip the
@@ -268,7 +273,9 @@ class Solver:
         One front door for every analytic model:
 
         * default: the single-stream launch graph priced end to end;
-        * ``batch=b``: ``b`` problems through the batched launch graph;
+        * ``batch=b``: ``b`` problems through the batched launch graph -
+          one grid covers all problems per schedule step, so launch
+          overheads amortize across the batch;
         * ``ngpu=g``: the emitted graph is sharded tile-row-wise across
           ``g`` devices with explicit comm nodes (panel broadcast,
           boundary exchange, band gather) and priced from the
@@ -294,19 +301,24 @@ class Solver:
           by the greedy critical-path scheduler (returns a
           :class:`~repro.sim.timeline.StreamSchedule`).
 
-        ``ngpu``, ``streams`` and ``out_of_core`` **compose**:
-        ``predict(n, ngpu=g, streams=k)`` emits the lookahead graph,
-        partitions it, and runs the device-aware scheduler with ``k``
-        streams per device (comm nodes occupy each device's link lane);
-        adding ``out_of_core=True`` partitions first, then rewrites each
+        Every execution axis **composes**: ``predict(n, ngpu=g,
+        streams=k)`` emits the lookahead graph, partitions it, and runs
+        the device-aware scheduler with ``k`` streams per device (comm
+        nodes occupy each device's link lane); adding
+        ``out_of_core=True`` partitions first, then rewrites each
         device's shard against its own budget - under the scheduler the
         transfers occupy a dedicated per-device host-link lane, so
-        prefetch overlaps compute.  ``batch`` prices a fundamentally
-        different launch set and cannot be combined with any other axis.
+        prefetch overlaps compute.  ``batch`` runs the same pipeline on
+        the batched launch graph: ``streams=k`` splits the batch into
+        ``k`` concurrent chains, ``ngpu=g`` shards it round-robin across
+        devices (comm only for the result gather), and
+        ``out_of_core=True`` streams whole problems through the device
+        window, the budget shared across every in-flight problem.
 
-        ``check_capacity`` applies to the default, ``streams`` and
-        ``ngpu`` modes; with ``ngpu > 1`` it checks the *per-device
-        shard* footprint (so multi-GPU extends capacity; pass
+        ``check_capacity`` applies to every in-core mode; with
+        ``ngpu > 1`` it checks the *per-device* footprint - the tile-row
+        shard for square predictions, the round-robin sub-batch for
+        batched ones - so multi-GPU extends capacity (pass
         ``check_capacity=False`` to price beyond it).  Out-of-core
         predictions skip the device capacity check - exceeding it is
         their purpose - but raise
@@ -314,6 +326,13 @@ class Solver:
         even the minimum streaming window.  Requires a handle
         constructed with an explicit precision.
         """
+        # the method guard comes first so a Jacobi handle is told about
+        # its real problem, not about whichever axis value it passed
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "prediction models the two-stage QR pipeline; construct "
+                "the Solver with method='qr'"
+            )
         if ngpu < 1:
             raise InvalidParamsError(
                 f"ngpu must be a positive device count, got {ngpu}"
@@ -321,17 +340,6 @@ class Solver:
         if streams < 1:
             raise InvalidParamsError(
                 f"streams must be a positive stream count, got {streams}"
-            )
-        if batch is not None and (ngpu != 1 or out_of_core or streams != 1):
-            passed = [
-                f"ngpu={ngpu}" if ngpu != 1 else "",
-                f"streams={streams}" if streams != 1 else "",
-                "out_of_core=True" if out_of_core else "",
-            ]
-            raise InvalidParamsError(
-                f"batch={batch} prices the batched launch graph and "
-                f"cannot be combined with "
-                f"{', '.join(p for p in passed if p)}"
             )
         if oc_budget_gb is not None:
             if not out_of_core:
@@ -344,14 +352,23 @@ class Solver:
                     f"oc_budget_gb must be a positive budget, "
                     f"got {oc_budget_gb}"
                 )
-        if self._config.method != "qr":
-            raise InvalidParamsError(
-                "prediction models the two-stage QR pipeline; construct "
-                "the Solver with method='qr'"
-            )
         storage = self._config.require_precision("predict")
         if batch is not None:
-            return predict_batched_resolved(n, batch, self._config)
+            # the batched graph runs the same emit -> partition ->
+            # rewrite -> price pipeline as every other axis
+            return predict_batched_resolved(
+                n,
+                batch,
+                self._config,
+                ngpu=ngpu,
+                streams=streams,
+                out_of_core=out_of_core,
+                link_gbs=link_gbs,
+                budget_bytes=(
+                    oc_budget_gb * 2**30 if oc_budget_gb is not None else None
+                ),
+                check_capacity=check_capacity,
+            )
         if out_of_core:
             return predict_out_of_core_resolved(
                 n,
@@ -383,6 +400,47 @@ class Solver:
                 graph, ngpu, self._config.link_spec(link_gbs)
             )
         return schedule_streams(graph, self._config, storage, streams)
+
+    # ------------------------------------------------------------------ #
+    # analytic autotuning
+    # ------------------------------------------------------------------ #
+    def tune(
+        self,
+        n: int,
+        batch: Optional[int] = None,
+        objective: str = "time",
+        budget: int = 96,
+    ) -> "TunePlan":
+        """Search every execution axis analytically for the fastest config.
+
+        Runs the staged analytic search of
+        :mod:`repro.tuning.planner` - a coarse grid over
+        :class:`~repro.sim.params.KernelParams` x ``streams`` x ``ngpu``
+        x out-of-core window budget, followed by local refinement around
+        the leaders - using this handle's cost model as the oracle (no
+        numerics are executed), and returns a ranked
+        :class:`~repro.tuning.TunePlan`.  The handle's own configuration
+        is always evaluated first, so the winning config is never
+        analytically slower than the untuned default.  Results are
+        memoized per (device, precision, shape) alongside the autotune
+        cache; ``budget`` caps the number of oracle evaluations.
+
+        ``plan.apply()`` constructs the winning :class:`Solver`;
+        ``plan.best.predict_kwargs()`` are the matching
+        :meth:`predict` arguments.  ``objective`` is ``"time"`` (default)
+        or ``"throughput"`` (problems per second; requires ``batch=``).
+        """
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "tuning searches the two-stage QR pipeline; construct "
+                "the Solver with method='qr'"
+            )
+        self._config.require_precision("tune")
+        from .tuning.planner import tune_resolved
+
+        return tune_resolved(
+            n, self._config, batch=batch, objective=objective, budget=budget
+        )
 
     # ------------------------------------------------------------------ #
     # plan/execute

@@ -1,5 +1,27 @@
-"""Hyperparameter tuning: the paper's performance-portability mechanism."""
+"""Hyperparameter tuning: the paper's performance-portability mechanism.
 
+Two layers:
+
+* :mod:`repro.tuning.search` - the paper's brute-force kernel
+  hyperparameter search (:func:`grid_search` / :func:`autotune`), which
+  prices TILESIZE / COLPERBLOCK / SPLITK combinations per (hardware,
+  precision) against the analytic cost model;
+* :mod:`repro.tuning.planner` - the execution planner behind
+  :meth:`repro.Solver.tune`, which extends that search to every axis of
+  the stage-graph engine (kernel parameters x ``streams`` x ``ngpu`` x
+  out-of-core window budget) and returns a ranked :class:`TunePlan`.
+"""
+
+from .planner import TuneCandidate, TunePlan, clear_tune_cache, tune_resolved
 from .search import SearchResult, autotune, clear_autotune_cache, grid_search
 
-__all__ = ["SearchResult", "autotune", "clear_autotune_cache", "grid_search"]
+__all__ = [
+    "SearchResult",
+    "TuneCandidate",
+    "TunePlan",
+    "autotune",
+    "clear_autotune_cache",
+    "clear_tune_cache",
+    "grid_search",
+    "tune_resolved",
+]

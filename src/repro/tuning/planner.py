@@ -1,0 +1,340 @@
+"""Analytic execution planner: tune every axis, not just the kernels.
+
+The paper's performance-portability mechanism (section 3.3) is
+*re-tuning*: the one unified code path is specialized per hardware and
+precision by searching hyperparameters against measurements.
+:mod:`repro.tuning.search` reproduces that search for the kernel
+hyperparameters alone; this module extends it to the full execution
+space the stage-graph engine exposes - kernel parameters x ``streams`` x
+``ngpu`` x out-of-core window budget - following the
+analytic-prediction-as-planner approach of performance-prediction
+frameworks (PPT): because the launch graph is priced without numerics,
+the entire composition matrix can be *searched*, not just priced.
+
+:func:`tune_resolved` (behind :meth:`repro.Solver.tune`) runs a staged
+search:
+
+1. **coarse stage** - a subsampled hyperparameter grid crossed with the
+   execution axes, every candidate priced by the analytic oracle
+   (:class:`~repro.sim.graph.AnalyticExecutor` /
+   :func:`~repro.sim.timeline.schedule_streams` through
+   :meth:`repro.Solver.predict`);
+2. **refinement stage** - the leaders' hyperparameter neighborhoods
+   (tilesize halved/doubled, colperblock divisors, splitk steps) are
+   explored at their winning execution axes.
+
+The handle's own configuration is always evaluated first, so the ranked
+:class:`TunePlan` can never be analytically slower than the untuned
+default.  Plans are memoized per (device, precision, shape) in a module
+cache alongside the kernel-parameter autotune cache
+(:func:`clear_tune_cache` drops it); candidates that exceed device
+memory in-core fall back to ``out_of_core=True`` automatically, which is
+when the window-budget axis joins the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CapacityError, InvalidParamsError
+from ..sim.params import KernelParams
+
+__all__ = [
+    "TuneCandidate",
+    "TunePlan",
+    "clear_tune_cache",
+    "tune_resolved",
+]
+
+#: Objectives the planner can rank by.
+OBJECTIVES = ("time", "throughput")
+
+#: Default device counts explored by the coarse stage.
+DEFAULT_NGPUS = (1, 2, 4, 8)
+
+#: Default stream counts explored by the coarse stage.
+DEFAULT_STREAMS = (1, 2, 4)
+
+#: Out-of-core window budgets explored (as fractions of device memory;
+#: ``None`` = the backend's full device memory) when a candidate must
+#: run out-of-core.
+OC_BUDGET_FRACTIONS = (None, 0.5)
+
+#: Coarse-stage hyperparameter axes (subsampled from the paper's grid).
+_COARSE_TILESIZES = (16, 32, 64)
+_COARSE_SPLITKS = (4, 8)
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One fully-specified point of the execution search space.
+
+    ``predicted_s`` is the analytic end-to-end time of this
+    configuration; ``out_of_core`` / ``oc_budget_gb`` record whether the
+    oracle had to stream the problem (chosen automatically when the
+    in-core footprint exceeds device memory).
+    """
+
+    params: KernelParams
+    streams: int = 1
+    ngpu: int = 1
+    out_of_core: bool = False
+    oc_budget_gb: Optional[float] = None
+    predicted_s: float = 0.0
+
+    def predict_kwargs(self) -> Dict[str, object]:
+        """The :meth:`repro.Solver.predict` arguments of this candidate."""
+        kwargs: Dict[str, object] = {
+            "streams": self.streams, "ngpu": self.ngpu,
+        }
+        if self.out_of_core:
+            kwargs["out_of_core"] = True
+            if self.oc_budget_gb is not None:
+                kwargs["oc_budget_gb"] = self.oc_budget_gb
+        return kwargs
+
+
+@dataclass
+class TunePlan:
+    """Ranked outcome of one :meth:`repro.Solver.tune` search.
+
+    ``candidates`` holds every evaluated configuration, fastest first;
+    ``default`` is the handle's own configuration (always evaluated), so
+    ``speedup`` isolates what tuning bought.  :meth:`apply` constructs
+    the winning :class:`~repro.Solver`.
+    """
+
+    n: int
+    batch: Optional[int]
+    backend: str
+    precision: str
+    objective: str
+    candidates: Tuple[TuneCandidate, ...]
+    default: TuneCandidate
+    evaluations: int
+    _config: object = field(repr=False, default=None)
+
+    @property
+    def best(self) -> TuneCandidate:
+        """The top-ranked candidate."""
+        return self.candidates[0]
+
+    @property
+    def speedup(self) -> float:
+        """Analytic speedup of the winner over the untuned default."""
+        if self.best.predicted_s <= 0:
+            return 1.0
+        return self.default.predicted_s / self.best.predicted_s
+
+    def throughput(self, candidate: Optional[TuneCandidate] = None) -> float:
+        """Problems per second of a candidate (the winner by default)."""
+        cand = candidate if candidate is not None else self.best
+        problems = self.batch if self.batch is not None else 1
+        return problems / cand.predicted_s if cand.predicted_s > 0 else 0.0
+
+    def apply(self) -> "object":
+        """Construct the winning :class:`~repro.Solver`.
+
+        The returned handle carries the best candidate's kernel
+        hyperparameters; pair it with ``plan.best.predict_kwargs()`` (or
+        the matching ``streams`` / ``ngpu`` runtime setup) to realize
+        the planned execution.
+        """
+        from ..solver import Solver
+
+        return Solver.from_config(self._config.with_(params=self.best.params))
+
+    def top(self, k: int = 5) -> List[TuneCandidate]:
+        """The ``k`` best-ranked candidates."""
+        return list(self.candidates[:k])
+
+
+_TUNE_CACHE: Dict[Tuple, TunePlan] = {}
+
+
+def clear_tune_cache() -> None:
+    """Drop memoized :class:`TunePlan` results (used by the cache tests)."""
+    _TUNE_CACHE.clear()
+
+
+def _coarse_params(base: KernelParams) -> List[KernelParams]:
+    """The coarse-stage hyperparameter candidates (base config included)."""
+    out = [base]
+    for ts in _COARSE_TILESIZES:
+        for cpb in (ts // 2, ts):
+            for sk in _COARSE_SPLITKS:
+                try:
+                    p = KernelParams(ts, cpb, sk)
+                except InvalidParamsError:
+                    continue
+                if p not in out:
+                    out.append(p)
+    return out
+
+
+def _neighbor_params(p: KernelParams) -> List[KernelParams]:
+    """The refinement neighborhood of one hyperparameter triple."""
+    out: List[KernelParams] = []
+    for ts in (p.tilesize // 2, p.tilesize, p.tilesize * 2):
+        for cpb in (ts // 4, ts // 2, ts):
+            for sk in (p.splitk // 2, p.splitk, p.splitk * 2):
+                try:
+                    q = KernelParams(ts, cpb, sk)
+                except InvalidParamsError:
+                    continue
+                if q not in out:
+                    out.append(q)
+    return out
+
+
+def tune_resolved(
+    n: int,
+    config,
+    batch: Optional[int] = None,
+    objective: str = "time",
+    budget: int = 96,
+    ngpus: Sequence[int] = DEFAULT_NGPUS,
+    streams: Sequence[int] = DEFAULT_STREAMS,
+) -> TunePlan:
+    """Staged analytic search against a resolved :class:`SolveConfig`.
+
+    The single shared code path behind :meth:`repro.Solver.tune`.
+    ``budget`` caps oracle evaluations (each one prices a launch graph;
+    no numerics run); a quarter of it is reserved for the refinement
+    stage so a large coarse grid cannot starve it.  Results are memoized
+    per (resolved config, shape, axes) - the frozen
+    :class:`~repro.SolveConfig` hashes by value, so any axis that
+    changes predictions (coefficients, link, stage3, ...) splits the
+    cache entry; :func:`clear_tune_cache` drops the memo.  Raises
+    :class:`~repro.errors.CapacityError` when the problem cannot run on
+    the backend even out-of-core.
+    """
+    from ..solver import Solver
+
+    storage = config.require_precision("tune")
+    if objective not in OBJECTIVES:
+        raise InvalidParamsError(
+            f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+        )
+    if objective == "throughput" and batch is None:
+        raise InvalidParamsError(
+            "objective='throughput' ranks problems per second and "
+            "requires batch="
+        )
+    if batch is not None and batch < 1:
+        raise InvalidParamsError(
+            f"batch must be a positive problem count, got {batch}"
+        )
+    if budget < 1:
+        raise InvalidParamsError(
+            f"budget must allow at least one evaluation, got {budget}"
+        )
+    ngpus = tuple(ngpus)
+    streams = tuple(streams)
+    # the frozen SolveConfig hashes by value, so *every* axis that can
+    # change a prediction (coeffs, link, stage3, fused, params, ...)
+    # participates in the memo key - two solvers share a cached plan
+    # only when their predictions are genuinely interchangeable
+    cache_key = (config, n, batch, objective, budget, ngpus, streams)
+    hit = _TUNE_CACHE.get(cache_key)
+    if hit is not None:
+        return hit
+
+    mem_gb = config.backend.device.mem_bytes / 2**30
+    evaluated: Dict[Tuple, TuneCandidate] = {}
+
+    def evaluate(
+        params: KernelParams, s: int, g: int,
+        oc_fraction: Optional[float] = None,
+    ) -> Optional[TuneCandidate]:
+        """Price one candidate; in-core first, out-of-core fallback."""
+        key = (params, s, g, oc_fraction)
+        if key in evaluated:
+            return evaluated[key]
+        if len(evaluated) >= budget:
+            return None
+        solver = Solver.from_config(config.with_(params=params))
+        kwargs: Dict[str, object] = {"streams": s, "ngpu": g}
+        if batch is not None:
+            kwargs["batch"] = batch
+        oc_budget_gb = None if oc_fraction is None else mem_gb * oc_fraction
+        try:
+            if oc_fraction is None:
+                result = solver.predict(n, **kwargs)
+                cand = TuneCandidate(
+                    params=params, streams=s, ngpu=g,
+                    predicted_s=result.total_s,
+                )
+            else:
+                raise CapacityError("explicit out-of-core candidate")
+        except CapacityError:
+            try:
+                result = solver.predict(
+                    n, out_of_core=True, oc_budget_gb=oc_budget_gb, **kwargs
+                )
+            except CapacityError:
+                return None  # not runnable even out-of-core
+            cand = TuneCandidate(
+                params=params, streams=s, ngpu=g, out_of_core=True,
+                oc_budget_gb=oc_budget_gb, predicted_s=result.total_s,
+            )
+        evaluated[key] = cand
+        return cand
+
+    # the untuned default always goes first: the ranked winner can only
+    # ever match or beat it
+    default = evaluate(config.params, 1, 1)
+    if default is None:
+        raise CapacityError(
+            f"n={n}" + (f", batch={batch}" if batch is not None else "")
+            + f" cannot run on {config.backend.name} ({storage.name_lower})"
+            " even out-of-core: one problem exceeds the streaming window"
+        )
+
+    # coarse stage: subsampled hyperparameters x execution axes.  A
+    # quarter of the budget is reserved for the refinement stage, so a
+    # coarse grid larger than the budget cannot starve it.
+    coarse_cap = max(1, budget - budget // 4)
+    exec_axes = [(s, g) for g in ngpus for s in streams]
+    for params in _coarse_params(config.params):
+        for s, g in exec_axes:
+            if len(evaluated) >= coarse_cap:
+                break
+            cand = evaluate(params, s, g)
+            if cand is not None and cand.out_of_core:
+                # the window budget becomes a search axis only when the
+                # candidate actually streams
+                for frac in OC_BUDGET_FRACTIONS:
+                    if frac is not None:
+                        evaluate(params, s, g, oc_fraction=frac)
+        if len(evaluated) >= coarse_cap:
+            break
+
+    # refinement stage: the leaders' hyperparameter neighborhoods at
+    # their winning execution axes
+    leaders = sorted(evaluated.values(), key=lambda c: c.predicted_s)[:3]
+    for leader in leaders:
+        for params in _neighbor_params(leader.params):
+            evaluate(
+                params, leader.streams, leader.ngpu,
+                oc_fraction=(
+                    None if leader.oc_budget_gb is None
+                    else leader.oc_budget_gb / mem_gb
+                ) if leader.out_of_core else None,
+            )
+
+    ranked = tuple(sorted(evaluated.values(), key=lambda c: c.predicted_s))
+    plan = TunePlan(
+        n=n,
+        batch=batch,
+        backend=config.backend.name,
+        precision=storage.name_lower,
+        objective=objective,
+        candidates=ranked,
+        default=default,
+        evaluations=len(evaluated),
+        _config=config,
+    )
+    _TUNE_CACHE[cache_key] = plan
+    return plan

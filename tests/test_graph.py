@@ -224,14 +224,17 @@ class TestMultiStream:
         with pytest.raises(ValueError, match="analytic-only"):
             NumericExecutor(W, 64, 1e-7).run(graph)
 
-    def test_streams_composes_with_ngpu_but_not_batch(self):
+    def test_streams_composes_with_ngpu_and_batch(self):
         solver = Solver(backend="h100", precision="fp32")
-        with pytest.raises(InvalidParamsError, match="batch"):
-            solver.predict(128, batch=4, streams=2)
         # the historical guard rejected ngpu x streams; they now compose
         # into the device-aware scheduler (see tests/test_partition.py)
         sched = solver.predict(256, ngpu=2, streams=2)
         assert sched.ngpu == 2 and sched.streams == 2
+        # and since the graph-native batching PR, batch= composes too:
+        # the batch splits into concurrent chains the scheduler overlaps
+        bsched = solver.predict(128, batch=4, streams=2)
+        assert bsched.streams == 2
+        assert bsched.makespan_s < bsched.serial_s
 
     def test_invalid_stream_count(self):
         solver = Solver(backend="h100", precision="fp32")

@@ -310,36 +310,54 @@ class TestDeviceAwareScheduler:
 
 
 class TestPredictModeValidation:
-    def test_batch_composes_with_nothing(self, solver):
+    def test_batch_composes_with_every_axis(self, solver):
+        """The historical batch mutual-exclusion guard is gone."""
         for kwargs in (
             dict(batch=4, ngpu=2),
             dict(batch=4, streams=2),
             dict(batch=4, out_of_core=True),
+            dict(batch=4, ngpu=2, streams=2, out_of_core=True),
         ):
-            with pytest.raises(InvalidParamsError, match="batch"):
-                solver.predict(128, **kwargs)
+            result = solver.predict(128, **kwargs)
+            assert result.total_s > 0
 
-    def test_batch_error_names_passed_axes(self, solver):
-        """The illegal-combination message names the axes actually passed."""
-        with pytest.raises(InvalidParamsError, match=r"batch=4.*ngpu=2"):
-            solver.predict(128, batch=4, ngpu=2)
-        with pytest.raises(InvalidParamsError, match=r"batch=8.*streams=3"):
-            solver.predict(128, batch=8, streams=3)
-        with pytest.raises(
-            InvalidParamsError, match=r"batch=4.*out_of_core=True"
+    def test_method_guard_fires_before_axis_validation(self):
+        """A Jacobi handle is told about its real problem first.
+
+        The axis-value validation used to fire before the method guard,
+        so ``Solver(method='jacobi').predict(n, streams=0)`` blamed the
+        stream count instead of the method.
+        """
+        jacobi = Solver(backend="h100", precision="fp32", method="jacobi")
+        for kwargs in (
+            dict(),
+            dict(streams=0),
+            dict(ngpu=0),
+            dict(oc_budget_gb=1.0),  # invalid without out_of_core
+            dict(oc_budget_gb=-1.0, out_of_core=True),
         ):
-            solver.predict(128, batch=4, out_of_core=True)
-        # all three at once: every offending axis is listed
+            with pytest.raises(
+                InvalidParamsError, match="two-stage QR"
+            ) as err:
+                jacobi.predict(128, **kwargs)
+            msg = str(err.value)
+            assert "streams" not in msg
+            assert "oc_budget_gb" not in msg
+
+    def test_axis_validation_messages_for_qr_handles(self, solver):
+        """QR handles still get the precise per-axis messages."""
+        with pytest.raises(InvalidParamsError, match="streams must be"):
+            solver.predict(128, streams=0)
+        with pytest.raises(InvalidParamsError, match="ngpu must be"):
+            solver.predict(128, ngpu=0)
         with pytest.raises(
-            InvalidParamsError,
-            match=r"ngpu=2, streams=2, out_of_core=True",
+            InvalidParamsError, match="requires out_of_core=True"
         ):
-            solver.predict(128, batch=4, ngpu=2, streams=2, out_of_core=True)
-        # and the axis NOT passed is not blamed
-        with pytest.raises(InvalidParamsError) as err:
-            solver.predict(128, batch=4, ngpu=2)
-        assert "streams" not in str(err.value)
-        assert "out_of_core" not in str(err.value)
+            solver.predict(128, oc_budget_gb=1.0)
+        with pytest.raises(
+            InvalidParamsError, match="oc_budget_gb must be"
+        ):
+            solver.predict(128, out_of_core=True, oc_budget_gb=-2.0)
 
     def test_invalid_counts(self, solver):
         with pytest.raises(InvalidParamsError, match="ngpu"):

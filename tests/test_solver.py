@@ -184,13 +184,19 @@ class TestPredictFrontDoor:
         )
         assert bd.io_s > 0
 
-    def test_batch_composes_with_nothing(self, solver):
-        with pytest.raises(InvalidParamsError):
-            solver.predict(128, batch=8, ngpu=2)
-        with pytest.raises(InvalidParamsError):
-            solver.predict(128, batch=8, out_of_core=True)
-        with pytest.raises(InvalidParamsError):
-            solver.predict(128, batch=8, streams=2)
+    def test_batch_composes_with_every_axis(self, solver):
+        # the batch x {ngpu, streams, out_of_core} mutual-exclusion guard
+        # is gone: batched prediction runs the same emit -> partition ->
+        # rewrite -> price pipeline as every other axis
+        sharded = solver.predict(128, batch=8, ngpu=2)
+        assert sharded.ngpu == 2 and sharded.comm_s > 0
+        incore = solver.predict(128, batch=8, out_of_core=True)
+        assert incore.io_s == 0.0  # fits: rewrite is the identity
+        sched = solver.predict(128, batch=8, streams=2)
+        assert sched.streams == 2
+        full = solver.predict(128, batch=8, ngpu=2, streams=2,
+                              out_of_core=True)
+        assert full.ngpu == 2
 
     def test_out_of_core_composes(self, solver):
         # since the graph rewriter landed, out_of_core composes with
