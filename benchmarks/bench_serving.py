@@ -1,0 +1,171 @@
+"""Serving-layer benchmark: dynamic batching vs serial under traffic.
+
+PR 6 added ``repro.serve``: an async request queue whose dynamic batcher
+groups same-shape-class requests into one batched launch graph, with
+admission control pricing every batch analytically before dispatch.
+This bench replays seeded Poisson and bursty ON/OFF traces through the
+*virtual-clock* service simulator (:func:`repro.serve.simulate_service`
+- the same batcher/admission/metrics stack as the live service, with
+batch service time equal to the analytic prediction), so every number is
+deterministic across machines:
+
+1. **Poisson trace** - steady overload at 4000 req/s across four
+   problem sizes in two shape classes; dynamic batching must show
+   strictly better goodput than the batch=1 serial baseline (the PR's
+   acceptance criterion, asserted here);
+2. **bursty trace** - ON/OFF modulated arrivals at twice the peak rate,
+   the workload that separates a latency-bounded batcher from a naive
+   one;
+3. **knob sweep** - goodput and p99 across ``max_batch``, showing the
+   occupancy-vs-latency tradeoff.
+
+Run standalone with ``--quick`` for the CI bench-gate slice::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
+"""
+
+import argparse
+
+from repro.report import format_table
+from repro.serve import bursty_trace, poisson_trace, simulate_service
+
+#: Problem sizes of the traces: two shape classes at tilesize 32
+#: (120/128 -> npad 128, 250/256 -> npad 256), so heterogeneous-n
+#: requests coalesce into shared batched graphs.
+TRACE_NS = (120, 128, 250, 256)
+
+#: Offered load (req/s) of the Poisson trace - past the serial
+#: capacity of one device, inside the batched capacity.
+RATE_HZ = 4000.0
+
+#: Per-request latency SLO of both traces.
+SLO_S = 0.05
+
+
+def make_traces(quick: bool):
+    """The two seeded traces of this bench (smaller when quick)."""
+    num = 600 if quick else 4000
+    poisson = poisson_trace(num, RATE_HZ, ns=TRACE_NS, slo_s=SLO_S, seed=7)
+    bursty = bursty_trace(
+        num, 2 * RATE_HZ, ns=TRACE_NS, mean_on_s=0.05, mean_off_s=0.05,
+        slo_s=SLO_S, seed=11,
+    )
+    return poisson, bursty
+
+
+def service_row(label, stats) -> list:
+    """One table row of a simulated serving run."""
+    return [
+        label,
+        f"{stats.completed}",
+        f"{stats.shed}",
+        f"{stats.mean_batch_size:.1f}",
+        f"{stats.p50_latency_s * 1e3:.2f} ms",
+        f"{stats.p99_latency_s * 1e3:.2f} ms",
+        f"{stats.goodput_rps:.0f}/s",
+    ]
+
+
+def trace_rows(trace, solver) -> tuple:
+    """Batched vs serial rows for one trace (returns rows, both stats)."""
+    batched = simulate_service(trace, solver, max_batch=16, max_wait_s=0.005)
+    serial = simulate_service(trace, solver, max_batch=1, max_wait_s=0.0)
+    rows = [
+        service_row("dynamic batch<=16", batched),
+        service_row("serial batch=1", serial),
+    ]
+    return rows, batched, serial
+
+
+def knob_rows(trace, solver) -> list:
+    """Goodput/latency across the max_batch knob."""
+    rows = []
+    for max_batch in (1, 4, 16, 64):
+        stats = simulate_service(
+            trace, solver, max_batch=max_batch, max_wait_s=0.005
+        )
+        rows.append(service_row(f"max_batch={max_batch}", stats))
+    return rows
+
+
+def run(quick: bool = False) -> str:
+    from conftest import get_solver
+
+    solver = get_solver()
+    poisson, bursty = make_traces(quick)
+
+    p_rows, p_batched, p_serial = trace_rows(poisson, solver)
+    assert p_batched.goodput_rps > p_serial.goodput_rps, (
+        "dynamic batching must beat the serial baseline on the Poisson "
+        f"trace (got {p_batched.goodput_rps:.0f} vs "
+        f"{p_serial.goodput_rps:.0f} req/s)"
+    )
+    headers = [
+        "policy", "completed", "shed", "batch", "p50", "p99", "goodput",
+    ]
+    text = format_table(
+        headers, p_rows,
+        title=f"Poisson trace ({len(poisson)} req @ {RATE_HZ:.0f}/s, "
+        f"SLO {SLO_S * 1e3:.0f} ms, h100 fp32)",
+    )
+
+    b_rows, b_batched, _ = trace_rows(bursty, solver)
+    text += "\n\n" + format_table(
+        headers, b_rows,
+        title=f"bursty ON/OFF trace ({len(bursty)} req, peak "
+        f"{2 * RATE_HZ:.0f}/s)",
+    )
+    assert b_batched.completed + b_batched.shed == len(bursty)
+
+    text += "\n\n" + format_table(
+        headers, knob_rows(poisson, solver),
+        title="max_batch knob on the Poisson trace "
+        "(occupancy vs latency tradeoff)",
+    )
+    return text
+
+
+def metrics() -> dict:
+    """Deterministic predicted-time metrics for the CI regression gate.
+
+    Lower-is-better only (the gate fails on increases): request
+    latencies and device seconds per completed request.  Goodput is
+    higher-is-better and therefore reported in the rendered tables, not
+    gated.
+    """
+    from conftest import get_solver
+
+    solver = get_solver()
+    poisson, bursty = make_traces(quick=True)
+    p = simulate_service(poisson, solver, max_batch=16, max_wait_s=0.005)
+    b = simulate_service(bursty, solver, max_batch=16, max_wait_s=0.005)
+    return {
+        "serving/poisson_p50_latency_s": p.p50_latency_s,
+        "serving/poisson_p99_latency_s": p.p99_latency_s,
+        "serving/poisson_device_s_per_completed": p.predicted_s / p.completed,
+        "serving/bursty_p50_latency_s": b.p50_latency_s,
+        "serving/bursty_p99_latency_s": b.p99_latency_s,
+    }
+
+
+def test_serving(benchmark, solver):
+    from conftest import save_result
+
+    text = run(quick=False)
+    save_result("serving", text)
+    trace = poisson_trace(200, RATE_HZ, ns=TRACE_NS, slo_s=SLO_S, seed=7)
+    benchmark(
+        lambda: simulate_service(trace, solver, max_batch=16,
+                                 max_wait_s=0.005)
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench-gate slice: shorter traces, same policies",
+    )
+    args = parser.parse_args()
+    print(run(quick=args.quick))

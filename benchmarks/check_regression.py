@@ -29,6 +29,7 @@ BENCH_MODULES = (
     "bench_graph_replay",
     "bench_multi_gpu_scaling",
     "bench_out_of_core",
+    "bench_serving",
 )
 
 #: Fail when a metric grows by more than this fraction over its baseline.

@@ -49,6 +49,13 @@ emitted graph, the padded workspace and the launch-price table, so
 >>> plan = solver.plan((128, 128))
 >>> sv128 = plan.execute(A[:128, :128])
 
+For request traffic rather than library calls, :meth:`Solver.serve`
+wraps the handle in an async :class:`repro.serve.SvdService`: submitted
+matrices are grouped by shape class, priced by the analytic oracle
+*before* dispatch (EDF ordering, SLO shedding via :class:`ShedError`,
+out-of-core spilling) and executed through the batched graph replay —
+bitwise identical to synchronous solves.
+
 Pass ``return_info=True`` to any solve for the simulated per-stage timing
 report.  The historical free functions (:func:`svdvals`,
 :func:`svdvals_rect`, :func:`svdvals_batched`, :func:`svd_full`,
@@ -75,6 +82,7 @@ from .errors import (
     InvalidParamsError,
     ReproError,
     ShapeError,
+    ShedError,
     UnsupportedBackendError,
     UnsupportedPrecisionError,
     WindowOverflowError,
@@ -88,14 +96,18 @@ from .sim import (
     predict_out_of_core,
 )
 from .solver import Solver, SvdPlan
+from .serve import ServiceStats, SvdService
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # unified handle surface (the recommended API)
     "Solver",
     "SvdPlan",
     "SolveConfig",
+    # serving layer
+    "ServiceStats",
+    "SvdService",
     # configuration axes
     "Backend",
     "DeviceMatrix",
@@ -115,6 +127,7 @@ __all__ = [
     "InvalidParamsError",
     "ReproError",
     "ShapeError",
+    "ShedError",
     "UnsupportedBackendError",
     "UnsupportedPrecisionError",
     "WindowOverflowError",

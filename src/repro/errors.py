@@ -7,11 +7,14 @@ programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "UnsupportedPrecisionError",
     "UnsupportedBackendError",
     "CapacityError",
+    "ShedError",
     "WindowOverflowError",
     "InvalidParamsError",
     "ConvergenceError",
@@ -43,6 +46,38 @@ class CapacityError(ReproError):
     enables H100-resident problems up to 131k x 131k; this error enforces
     the same ``n^2 * sizeof(precision)`` budget against device memory.
     """
+
+
+class ShedError(CapacityError):
+    """A serving request was shed instead of dispatched.
+
+    Raised (via the request's future) by :class:`repro.serve.SvdService`
+    when admission control decides a request cannot be served: either its
+    predicted completion time already exceeds its SLO, or the batch it
+    belongs to cannot run on the backend even out-of-core.  Deriving from
+    :class:`CapacityError` keeps the library contract that pressure
+    failures share one catchable type, while ``predicted_s`` / ``slo_s``
+    preserve the admission context that a bare :class:`CapacityError`
+    raised deep inside predict/emit would lose.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        predicted_s: Optional[float] = None,
+        slo_s: Optional[float] = None,
+    ) -> None:
+        """Record the admission verdict alongside the message.
+
+        ``predicted_s`` is the analytic service time of the batch the
+        request would have joined (``None`` when pricing itself failed);
+        ``slo_s`` is the request's deadline (``None`` for best-effort
+        requests shed on capacity).
+        """
+        super().__init__(message)
+        self.predicted_s = predicted_s
+        self.slo_s = slo_s
 
 
 class WindowOverflowError(CapacityError):

@@ -1,0 +1,39 @@
+"""SVD-as-a-service: async queueing, dynamic batching, priced admission.
+
+The serving layer sits atop the planner (see ARCHITECTURE.md): requests
+enter an asyncio queue with bounded depth
+(:class:`~repro.serve.SvdService`), a dynamic batcher groups them by
+shape class (padded tile geometry x backend x precision), and an
+admission controller prices every candidate batch with the analytic
+oracle *before* it dispatches - enabling EDF ordering over predicted
+completion, SLO-based shedding (:class:`~repro.errors.ShedError`) and
+out-of-core spilling instead of rejection.  Execution reuses the
+graph-native batched replay, so served results are bitwise identical to
+synchronous :meth:`repro.Solver.solve` calls.
+
+:mod:`repro.serve.replay` adds seeded traffic generators and a
+virtual-clock simulator of the same policy stack for deterministic
+benchmarking.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .batcher import Batch, BatchRunner, DynamicBatcher, SvdRequest
+from .metrics import MetricsCollector, ServiceStats
+from .queue import SvdService
+from .replay import TraceRequest, bursty_trace, poisson_trace, simulate_service
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Batch",
+    "BatchRunner",
+    "DynamicBatcher",
+    "MetricsCollector",
+    "ServiceStats",
+    "SvdRequest",
+    "SvdService",
+    "TraceRequest",
+    "bursty_trace",
+    "poisson_trace",
+    "simulate_service",
+]

@@ -460,6 +460,28 @@ class Solver:
             )
         return SvdPlan(self._config, shape)
 
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def serve(self, **kwargs) -> "object":
+        """Build an async :class:`~repro.serve.SvdService` over this handle.
+
+        The service queues ``submit(A, slo_s=, priority=)`` calls, groups
+        them by shape class, prices every candidate batch with this
+        handle's analytic oracle before dispatch (EDF ordering, SLO
+        shedding, out-of-core spilling) and executes batches through the
+        graph-native batched replay - results are bitwise identical to
+        synchronous :meth:`solve` calls.  Keyword arguments
+        (``max_batch``, ``max_wait_s``, ``max_depth``,
+        ``mem_budget_gb``, ``tune``, ``clock``) are forwarded to
+        :class:`~repro.serve.SvdService`; use ``async with
+        solver.serve(...) as service:`` to run it.  Requires a handle
+        constructed with an explicit precision and ``method='qr'``.
+        """
+        from .serve import SvdService
+
+        return SvdService(self, **kwargs)
+
 
 class SvdPlan:
     """Precomputed execution plan for repeated same-shape solves.

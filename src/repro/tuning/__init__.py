@@ -12,16 +12,27 @@ Two layers:
   out-of-core window budget) and returns a ranked :class:`TunePlan`.
 """
 
-from .planner import TuneCandidate, TunePlan, clear_tune_cache, tune_resolved
+from .planner import (
+    ShapeClass,
+    TuneCandidate,
+    TunePlan,
+    clear_tune_cache,
+    shape_class,
+    tune_cache_stats,
+    tune_resolved,
+)
 from .search import SearchResult, autotune, clear_autotune_cache, grid_search
 
 __all__ = [
     "SearchResult",
+    "ShapeClass",
     "TuneCandidate",
     "TunePlan",
     "autotune",
     "clear_autotune_cache",
     "clear_tune_cache",
     "grid_search",
+    "shape_class",
+    "tune_cache_stats",
     "tune_resolved",
 ]

@@ -25,8 +25,11 @@ search:
 
 The handle's own configuration is always evaluated first, so the ranked
 :class:`TunePlan` can never be analytically slower than the untuned
-default.  Plans are memoized per (device, precision, shape) in a module
-cache alongside the kernel-parameter autotune cache
+default.  Plans are memoized per (device, precision, shape *class*) in a
+module cache - the key uses :func:`shape_class` (padded tile geometry)
+rather than the exact ``n``, since every ``n`` padding to the same
+``npad`` emits the identical launch graph - alongside the
+kernel-parameter autotune cache
 (:func:`clear_tune_cache` drops it); candidates that exceed device
 memory in-core fall back to ``out_of_core=True`` automatically, which is
 when the window-budget axis joins the search.
@@ -37,13 +40,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.tiling import ntiles
 from ..errors import CapacityError, InvalidParamsError
 from ..sim.params import KernelParams
 
 __all__ = [
+    "ShapeClass",
     "TuneCandidate",
     "TunePlan",
     "clear_tune_cache",
+    "shape_class",
+    "tune_cache_stats",
     "tune_resolved",
 ]
 
@@ -64,6 +71,36 @@ OC_BUDGET_FRACTIONS = (None, 0.5)
 #: Coarse-stage hyperparameter axes (subsampled from the paper's grid).
 _COARSE_TILESIZES = (16, 32, 64)
 _COARSE_SPLITKS = (4, 8)
+
+
+@dataclass(frozen=True)
+class ShapeClass:
+    """The padded tile geometry a problem size resolves to.
+
+    The tile engine zero-pads every ``n x n`` problem to
+    ``npad = ntiles(n, tilesize) * tilesize``, so every ``n`` in
+    ``(npad - tilesize, npad]`` emits the *identical* launch graph: same
+    kernel sequence, same analytic price, same tuning landscape.  The
+    shape class is therefore the natural memo key for tune/plan caches
+    (heterogeneous traffic collapses onto few classes) and the grouping
+    key for the serving batcher (:mod:`repro.serve.batcher`), where
+    requests in one class can share a batched graph bitwise-safely.
+    """
+
+    npad: int
+    nbt: int
+    tilesize: int
+
+    def __contains__(self, n: int) -> bool:
+        """Whether problem size ``n`` pads to this class."""
+        return self.npad - self.tilesize < n <= self.npad
+
+
+def shape_class(n: int, config) -> ShapeClass:
+    """Resolve a problem size to its padded tile geometry class."""
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    return ShapeClass(npad=nbt * ts, nbt=nbt, tilesize=ts)
 
 
 @dataclass(frozen=True)
@@ -151,11 +188,31 @@ class TunePlan:
 
 
 _TUNE_CACHE: Dict[Tuple, TunePlan] = {}
+_TUNE_CACHE_HITS = 0
+_TUNE_CACHE_MISSES = 0
 
 
 def clear_tune_cache() -> None:
-    """Drop memoized :class:`TunePlan` results (used by the cache tests)."""
+    """Drop memoized :class:`TunePlan` results and reset the counters."""
+    global _TUNE_CACHE_HITS, _TUNE_CACHE_MISSES
     _TUNE_CACHE.clear()
+    _TUNE_CACHE_HITS = 0
+    _TUNE_CACHE_MISSES = 0
+
+
+def tune_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the shape-class plan memo.
+
+    Two distinct problem sizes in one :class:`ShapeClass` share a memo
+    entry, so the second ``tune`` of heterogeneous traffic shows up here
+    as a hit rather than a cold search (asserted by the cache tests and
+    surfaced per-service by :class:`repro.serve.ServiceStats`).
+    """
+    return {
+        "hits": _TUNE_CACHE_HITS,
+        "misses": _TUNE_CACHE_MISSES,
+        "entries": len(_TUNE_CACHE),
+    }
 
 
 def _coarse_params(base: KernelParams) -> List[KernelParams]:
@@ -235,11 +292,18 @@ def tune_resolved(
     # the frozen SolveConfig hashes by value, so *every* axis that can
     # change a prediction (coeffs, link, stage3, fused, params, ...)
     # participates in the memo key - two solvers share a cached plan
-    # only when their predictions are genuinely interchangeable
-    cache_key = (config, n, batch, objective, budget, ngpus, streams)
+    # only when their predictions are genuinely interchangeable.  The
+    # shape participates as its padded tile geometry class rather than
+    # the exact n: every n padding to the same npad emits the identical
+    # launch graph, so heterogeneous traffic reuses one plan per class
+    global _TUNE_CACHE_HITS, _TUNE_CACHE_MISSES
+    cls = shape_class(n, config)
+    cache_key = (config, cls, batch, objective, budget, ngpus, streams)
     hit = _TUNE_CACHE.get(cache_key)
     if hit is not None:
+        _TUNE_CACHE_HITS += 1
         return hit
+    _TUNE_CACHE_MISSES += 1
 
     mem_gb = config.backend.device.mem_bytes / 2**30
     evaluated: Dict[Tuple, TuneCandidate] = {}

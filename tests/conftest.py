@@ -18,6 +18,18 @@ settings.register_profile("ci", max_examples=300, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
+def pytest_configure(config):
+    """Run ``async def`` tests automatically where pytest-asyncio exists.
+
+    The serving tests drive coroutines through ``asyncio.run`` inside
+    plain test functions, so they pass with or without the plugin; this
+    just keeps any future native-async tests runnable in CI (which
+    installs pytest-asyncio via requirements-ci.txt) without decorating.
+    """
+    if config.pluginmanager.hasplugin("asyncio"):
+        config.option.asyncio_mode = "auto"
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Seeded generator - deterministic tests."""

@@ -23,10 +23,13 @@ REPRO_ALL = [
     "ReproError",
     "SVDInfo",
     "SVDResult",
+    "ServiceStats",
     "ShapeError",
+    "ShedError",
     "SolveConfig",
     "Solver",
     "SvdPlan",
+    "SvdService",
     "UnsupportedBackendError",
     "UnsupportedPrecisionError",
     "WindowOverflowError",

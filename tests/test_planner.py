@@ -199,6 +199,53 @@ class TestTuneCache:
         ]
 
 
+class TestShapeClassCache:
+    """The memo keys by padded tile geometry, not the exact n."""
+
+    def test_shape_class_resolution(self, solver):
+        from repro.tuning import ShapeClass, shape_class
+
+        cls = shape_class(250, solver.config)
+        assert cls == ShapeClass(npad=256, nbt=8, tilesize=32)
+        assert shape_class(256, solver.config) == cls
+        assert shape_class(224, solver.config) != cls
+        assert 250 in cls and 256 in cls and 224 not in cls
+
+    def test_two_shapes_one_class_share_an_entry(self, solver):
+        from repro.tuning import tune_cache_stats
+
+        p1 = solver.tune(250, budget=12)
+        p2 = solver.tune(256, budget=12)  # ntiles(250,32) == ntiles(256,32)
+        assert p1 is p2
+        assert len(_TUNE_CACHE) == 1
+        stats = tune_cache_stats()
+        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_distinct_classes_still_miss(self, solver):
+        solver.tune(224, budget=12)
+        solver.tune(256, budget=12)
+        from repro.tuning import tune_cache_stats
+
+        assert tune_cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_clear_resets_counters(self, solver):
+        from repro.tuning import tune_cache_stats
+
+        solver.tune(512, budget=12)
+        solver.tune(512, budget=12)
+        clear_tune_cache()
+        assert tune_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_class_follows_the_handle_tilesize(self):
+        from repro.sim import KernelParams
+        from repro.tuning import shape_class
+
+        s64 = Solver(backend="h100", precision="fp32",
+                     params=KernelParams(64, 64, 8))
+        cls = shape_class(250, s64.config)
+        assert cls.tilesize == 64 and cls.npad == 256 and cls.nbt == 4
+
+
 class TestDeterminism:
     @given(
         n=st.sampled_from([256, 512, 1024]),
