@@ -15,6 +15,14 @@ matters most — a 64-matrix batch of small (128 x 128) solves — three ways:
 
 The rendered table reports the per-call setup saved and its share of the
 total batch runtime.
+
+Since the struct-of-arrays pricing PR the one-shot prologue no longer
+re-emits and scalar-prices the launch schedule - ``predict_resolved``
+binds the memoized shape-family structure and prices it in whole-array
+NumPy - so the setup gap the plan amortizes shrank from ~25x to a few x
+(the plan still skips session construction, capacity checks and
+launch-price lookups).  The assertion below pins the plan at >=2x
+cheaper setup, not the historical 5x.
 """
 
 import time
@@ -74,9 +82,11 @@ def test_plan_amortizes_setup(benchmark, solver):
     plan_vals = plan.execute(As)
     plan_s = time.perf_counter() - t0
 
-    # the planned path must be bitwise identical and skip nearly all setup
+    # the planned path must be bitwise identical and skip most setup
+    # (the unplanned prologue is itself cheap now that analytic pricing
+    # binds memoized structures instead of emitting and walking nodes)
     np.testing.assert_array_equal(loop_vals, plan_vals)
-    assert planned_us < unplanned_us / 5, (planned_us, unplanned_us)
+    assert planned_us < unplanned_us / 2, (planned_us, unplanned_us)
 
     saved_us = unplanned_us - planned_us
     save_result(

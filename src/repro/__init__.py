@@ -98,7 +98,7 @@ from .sim import (
 from .solver import Solver, SvdPlan
 from .serve import ServiceStats, SvdService
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # unified handle surface (the recommended API)

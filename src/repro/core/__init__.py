@@ -7,18 +7,25 @@ the numeric and analytic executors both consume.
 """
 
 from .banddiag import emit_band_reduction, getsmqrt, reduce_to_band
-from .batched import emit_batched_graph, predict_batched, svdvals_batched
+from .batched import (
+    bind_batched_table,
+    emit_batched_graph,
+    predict_batched,
+    svdvals_batched,
+)
 from .jacobi import jacobi_svdvals
 from .rectangular import emit_tallqr_graph, qr_reduce_tall, svdvals_rect
 from .vectors import SVDResult, svd_full
 from .bidiag import bisect, golub_kahan, singular_2x2, svdvals_bidiag
 from .brd import band_to_bidiagonal, emit_brd_chase, givens
-from .svd import SVDInfo, emit_svd_graph, svdvals
+from .svd import SVDInfo, bind_svd_table, emit_svd_graph, svdvals
 from .tiling import band_width, extract_band, is_upper_band, ntiles, pad_to_tiles, tile
 
 __all__ = [
     "SVDInfo",
     "SVDResult",
+    "bind_batched_table",
+    "bind_svd_table",
     "emit_band_reduction",
     "emit_batched_graph",
     "emit_brd_chase",

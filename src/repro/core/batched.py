@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,17 +63,27 @@ from ..sim.graph import (
 )
 from ..sim.params import KernelParams
 from ..sim.schedule import TimeBreakdown
+from ..sim.table import (
+    FAMILIES,
+    NodeTable,
+    bound_structure,
+    price_table,
+)
 from ..sim.tracing import Stage
 from .svd import _rescale_factor, emit_svd_graph, svdvals_resolved
 from .tiling import ntiles
 
 __all__ = [
     "batched_closed_form_resolved",
+    "bind_batched_table",
     "emit_batched_graph",
     "predict_batched",
     "replay_batched_graph",
     "svdvals_batched",
 ]
+
+_FAM = {name: i for i, name in enumerate(FAMILIES)}
+_SID = {stage: i for i, stage in enumerate(Stage.ALL)}
 
 
 def emit_batched_graph(
@@ -165,6 +175,254 @@ def emit_batched_graph(
     )
 
 
+def bind_batched_table(
+    n: int, batch: int, config: SolveConfig, streams: int = 1
+) -> NodeTable:
+    """Bind the batched sweep structure to ``(n, batch)`` as a node table.
+
+    Shape-parametric emission for the batched family: the round-robin
+    chain structure of :func:`emit_batched_graph` is assembled directly
+    as the struct-of-arrays :class:`~repro.sim.table.NodeTable` - one
+    key block per distinct chain size, closed-form index arrays over the
+    sweep count - and memoized process-wide per
+    ``(config, n, batch, chains)`` through
+    :func:`~repro.sim.table.bound_structure`.  Node for node equal to
+    ``emit_batched_graph(n, batch, config, streams).table()`` (pinned by
+    ``tests/test_table_props.py``); this is what single-device batched
+    prediction and admission pricing consume instead of re-emitting.
+
+    Binding is two-level: the count-invariant chain *skeleton* (node
+    columns, kind/stage/key layout) is built once per
+    ``(config, n, chains, remainder)`` and each concrete ``batch`` only
+    recomputes the key operand rows - so the admission controller's shed
+    loop re-prices a shrinking batch incrementally instead of re-emitting
+    per round.
+    """
+    if n < 1 or batch < 1:
+        raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
+    if streams < 1:
+        raise ShapeError(f"need at least one stream, got {streams}")
+    nchains = min(streams, batch)
+    return bound_structure(
+        ("bat_table", config, n, batch, nchains),
+        lambda: _bind_batched_count(n, batch, nchains, config),
+    )
+
+
+def _batched_key_ops(
+    bcount: int, n: int, npad: int, ts: int, nbt: int,
+    widths: np.ndarray, k: np.ndarray, r: np.ndarray,
+) -> List[Tuple[float, float, float, float]]:
+    """Operand rows of one chain-size key block (families are invariant).
+
+    Layout per block: the chain's GEQRT_B key, per-k UNMQR_B widths,
+    per-r FTSQRT_B panels, per-sweep FTSMQR_B updates, then the chain's
+    stage-2/3 keys - the only place the problem count enters the table.
+    """
+    ops = [(float(bcount), 1.0, 1.0, 0.0)]
+    ops += [(float(w * bcount), 1.0, 0.0, 0.0) for w in widths.tolist()]
+    ops += [(float(bcount), float(rr), 2.0, 0.0) for rr in range(1, nbt)]
+    ops += [
+        (float(w * bcount), float(rr), 1.0, 0.0)
+        for w, rr in zip(widths[k].tolist(), r.tolist())
+    ]
+    ops += [
+        (float(bcount), float(npad), float(ts), 0.0),
+        (float(bcount), float(n), 0.0, 0.0),
+    ]
+    return ops
+
+
+def _bind_batched_count(
+    n: int, batch: int, nchains: int, config: SolveConfig
+) -> NodeTable:
+    """Bind the memoized chain skeleton to a concrete problem count.
+
+    ``batch`` distributes round-robin as ``rem`` chains of ``q + 1``
+    problems and the rest of ``q``; every count with the same
+    ``(nchains, rem)`` shares one skeleton's column arrays, so binding a
+    new count is O(unique keys), not O(nodes).
+    """
+    q, rem = divmod(batch, nchains)
+    skel = bound_structure(
+        ("bat_skel", config, n, nchains, rem),
+        lambda: _build_batched_table(n, nchains + rem, nchains, config),
+    )
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    F = max(2 * (nbt - 1) - 1, 0)
+    s = np.arange(F, dtype=np.int64)
+    k = s >> 1
+    r = nbt - 1 - k - (s & 1)
+    widths = np.arange(nbt - 1, 0, -1, dtype=np.int64) * ts
+    ops: List[Tuple[float, float, float, float]] = []
+    for b in ([q + 1] * min(rem, 1) + [q]) if rem else [q]:
+        ops += _batched_key_ops(b, n, npad, ts, nbt, widths, k, r)
+    return NodeTable(
+        kind="batched",
+        n=n,
+        npad=npad,
+        ts=ts,
+        nbt=nbt,
+        ngpu=1,
+        out_of_core=False,
+        kinds=skel.kinds,
+        kind_id=skel.kind_id,
+        stage_id=skel.stage_id,
+        key_id=skel.key_id,
+        counts=skel.counts,
+        primary=skel.primary,
+        device=skel.device,
+        sweep=skel.sweep,
+        fam=skel.fam,
+        ops=np.asarray(ops, dtype=np.float64).reshape(len(ops), 4),
+    )
+
+
+def _build_batched_table(
+    n: int, batch: int, nchains: int, config: SolveConfig
+) -> NodeTable:
+    """Assemble a batched table from scratch (the skeleton builder)."""
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    nbrd = brd_launch_count(npad, ts, config.coeffs)
+    PANEL, UPDATE = _SID[Stage.PANEL], _SID[Stage.UPDATE]
+    BRD, SOLVE = _SID[Stage.BRD], _SID[Stage.SOLVE]
+
+    S = 2 * (nbt - 1)  # sweeps; the last one has no rows below the pivot
+    F = max(S - 1, 0)  # sweeps emitting a full panel/update pair
+    s = np.arange(F, dtype=np.int64)
+    k = s >> 1
+    r = nbt - 1 - k - (s & 1)  # rows below the pivot, per sweep
+    widths = np.arange(nbt - 1, 0, -1, dtype=np.int64) * ts  # k ascending
+
+    kinds: Tuple[str, ...] = (
+        ("geqrt_b",)
+        if nbt == 1
+        else ("geqrt_b", "unmqr_b", "ftsqrt_b", "ftsmqr_b")
+    )
+    brd_kind = len(kinds)
+    solve_kind = brd_kind + (1 if nbrd else 0)
+    if nbrd:
+        kinds = kinds + ("brd_chase_b",)
+    kinds = kinds + ("bdsqr_cpu_b",)
+
+    # chains of the same size share one key block and one node-column
+    # block (chain j owns problems j, j+nchains, ...; at most two sizes)
+    fam: List[int] = []
+    ops: List[Tuple[float, float, float, float]] = []
+    blocks: Dict[int, Tuple[np.ndarray, ...]] = {}
+    segs: List[Tuple[np.ndarray, ...]] = []
+    for j in range(nchains):
+        bcount = len(range(j, batch, nchains))
+        block = blocks.get(bcount)
+        if block is None:
+            # key block: the chain's GEQRT_B key, per-k UNMQR_B widths,
+            # per-r FTSQRT_B panels, per-sweep FTSMQR_B updates, then the
+            # chain's stage-2/3 keys
+            base = len(fam)
+            fam.append(_FAM["panel_b"])
+            ops.append((float(bcount), 1.0, 1.0, 0.0))
+            fam += [_FAM["update"]] * (nbt - 1)
+            ops += [(float(w * bcount), 1.0, 0.0, 0.0) for w in widths.tolist()]
+            fam += [_FAM["panel_b"]] * (nbt - 1)
+            ops += [
+                (float(bcount), float(rr), 2.0, 0.0) for rr in range(1, nbt)
+            ]
+            fam += [_FAM["update"]] * F
+            ops += [
+                (float(w * bcount), float(rr), 1.0, 0.0)
+                for w, rr in zip(widths[k].tolist(), r.tolist())
+            ]
+            brd_id = base + 2 * nbt - 1 + F
+            fam += [_FAM["brd_b"], _FAM["solve_b"]]
+            ops += [
+                (float(bcount), float(npad), float(ts), 0.0),
+                (float(bcount), float(n), 0.0, 0.0),
+            ]
+
+            # node columns: F full sweeps of four launches, the below-less
+            # tail sweep, the final diagonal GEQRT_B, stage-2 chain, solve
+            chain_segs: List[Tuple[np.ndarray, ...]] = []
+            if nbt > 1:
+                neg = np.full(F, -1, dtype=np.int64)
+                chain_segs.append(
+                    (
+                        np.tile(np.arange(4, dtype=np.int64), F),
+                        np.tile(
+                            np.array(
+                                [PANEL, UPDATE, PANEL, UPDATE], np.int64
+                            ),
+                            F,
+                        ),
+                        np.stack(
+                            [
+                                np.full(F, base, np.int64),
+                                base + 1 + k,
+                                base + nbt - 1 + r,
+                                base + 2 * nbt - 1 + s,
+                            ],
+                            axis=1,
+                        ).ravel(),
+                        np.stack([neg, s, neg, s], axis=1).ravel(),
+                        np.ones(4 * F, np.int64),
+                        np.ones(4 * F, bool),
+                    )
+                )
+                chain_segs.append(
+                    (  # tail sweep (s = S-1): GEQRT_B + UNMQR_B
+                        np.array([0, 1], np.int64),
+                        np.array([PANEL, UPDATE], np.int64),
+                        np.array([base, base + nbt - 1], np.int64),
+                        np.array([-1, S - 1], np.int64),
+                        np.ones(2, np.int64),
+                        np.ones(2, bool),
+                    )
+                )
+            primary_tail = np.ones(nbrd + 2, bool)
+            primary_tail[2:-1] = False  # chase cost rides on launch one
+            chain_segs.append(
+                (
+                    np.r_[0, [brd_kind] * nbrd, solve_kind].astype(np.int64),
+                    np.r_[PANEL, [BRD] * nbrd, SOLVE].astype(np.int64),
+                    np.r_[base, [brd_id] * nbrd, brd_id + 1].astype(np.int64),
+                    np.full(nbrd + 2, -1, dtype=np.int64),
+                    np.ones(nbrd + 2, np.int64),
+                    primary_tail,
+                )
+            )
+            block = tuple(
+                np.concatenate([seg[i] for seg in chain_segs])
+                for i in range(6)
+            )
+            blocks[bcount] = block
+        segs.append(block)
+    kind_id, stage_id, key_id, sweep, counts, primary = (
+        np.concatenate([seg[i] for seg in segs]) for i in range(6)
+    )
+    return NodeTable(
+        kind="batched",
+        n=n,
+        npad=npad,
+        ts=ts,
+        nbt=nbt,
+        ngpu=1,
+        out_of_core=False,
+        kinds=kinds,
+        kind_id=kind_id,
+        stage_id=stage_id,
+        key_id=key_id,
+        counts=counts,
+        primary=primary,
+        device=np.zeros(kind_id.size, dtype=np.int64),
+        sweep=sweep,
+        fam=np.asarray(fam, dtype=np.int64),
+        ops=np.asarray(ops, dtype=np.float64).reshape(len(fam), 4),
+    )
+
+
 def check_batched_capacity(
     n: int, batch: int, config: SolveConfig, ngpu: int = 1
 ) -> None:
@@ -214,6 +472,13 @@ def predict_batched_resolved(
     analytically for ``streams == 1``, through the device-aware list
     scheduler otherwise (returning a
     :class:`~repro.sim.timeline.StreamSchedule`).
+
+    The plain single-device path (``ngpu=1, streams=1``, in-core) never
+    materializes nodes at all: it binds the shape-parametric structure
+    (:func:`bind_batched_table`) and prices the table.  Composed graphs
+    are memoized per axes through the same bound-structure memo, so
+    repeated predictions (``Solver.tune`` candidates, admission pricing)
+    re-emit nothing.
     """
     storage = config.require_precision("batched prediction")
     if n < 1 or batch < 1:
@@ -221,19 +486,36 @@ def predict_batched_resolved(
     if check_capacity and not out_of_core:
         check_batched_capacity(n, batch, config, ngpu)
 
+    if ngpu == 1 and streams == 1 and not out_of_core:
+        return price_table(
+            bind_batched_table(n, batch, config), config, storage, None
+        )
+
     # lazy: the rewriters live in repro.sim, which core already imports,
     # but partition/outofcore import this module's graph kinds
     from ..sim.outofcore import rewrite_out_of_core
     from ..sim.partition import partition_graph, price_partitioned
     from ..sim.timeline import schedule_streams
 
-    graph = emit_batched_graph(n, batch, config, streams=streams)
-    if ngpu > 1:
-        graph = partition_graph(graph, ngpu, config.link_spec(link_gbs))
-    if out_of_core:
-        graph = rewrite_out_of_core(
-            graph, config, storage, budget_bytes=budget_bytes
-        )
+    link = config.link_spec(link_gbs) if ngpu > 1 else None
+
+    def _compose() -> LaunchGraph:
+        graph = emit_batched_graph(n, batch, config, streams=streams)
+        if ngpu > 1:
+            graph = partition_graph(graph, ngpu, link)
+        if out_of_core:
+            graph = rewrite_out_of_core(
+                graph, config, storage, budget_bytes=budget_bytes
+            )
+        return graph
+
+    graph = bound_structure(
+        (
+            "bat_graph", config, n, batch, min(streams, batch), ngpu, link,
+            out_of_core, budget_bytes,
+        ),
+        _compose,
+    )
     if streams > 1:
         return schedule_streams(graph, config, storage, streams)
     if ngpu > 1:

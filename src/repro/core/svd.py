@@ -28,15 +28,19 @@ from ..backends.backend import BackendLike
 from ..config import SolveConfig
 from ..errors import ShapeError
 from ..precision import Precision, PrecisionLike
-from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients
+from ..sim.costmodel import DEFAULT_COEFFS, CostCoefficients, brd_launch_count
 from ..sim.graph import LaunchGraph, LaunchNode, NumericExecutor
 from ..sim.params import KernelParams
+from ..sim.table import FAMILIES, NodeTable, bound_structure
 from ..sim.tracing import Stage
 from .banddiag import emit_band_reduction
 from .brd import emit_brd_chase
 from .tiling import ntiles, pad_to_tiles
 
-__all__ = ["SVDInfo", "emit_svd_graph", "svdvals"]
+__all__ = ["SVDInfo", "bind_svd_table", "emit_svd_graph", "svdvals"]
+
+_FAM = {name: i for i, name in enumerate(FAMILIES)}
+_SID = {stage: i for i, stage in enumerate(Stage.ALL)}
 
 
 @dataclass
@@ -137,6 +141,154 @@ def emit_svd_graph(
     return LaunchGraph(
         nodes=nodes, kind="square", n=n, npad=npad, ts=ts, nbt=nbt,
         fused=config.fused, streams=streams, counted=counted,
+    )
+
+
+def bind_svd_table(n: int, config: SolveConfig) -> NodeTable:
+    """Bind the square sweep structure to ``(n, config)`` as a node table.
+
+    Shape-parametric emission: instead of materializing per-tile
+    :class:`~repro.sim.graph.LaunchNode` objects, the sweep structure of
+    the shape family is assembled directly as the struct-of-arrays
+    :class:`~repro.sim.table.NodeTable` - closed-form index arrays over
+    the sweep count - and memoized process-wide per ``(config, n)``
+    through :func:`~repro.sim.table.bound_structure`.  Node for node
+    equal to ``emit_svd_graph(n, config, counted=True).table()`` (pinned
+    by ``tests/test_table_props.py``): the analytic-only form whose
+    unfused TSQRT/TSMQR runs are folded into counted rows.  This is what
+    ``Solver.predict`` / ``Solver.tune`` price instead of re-emitting.
+    """
+    return bound_structure(
+        ("svd_table", config, n), lambda: _build_svd_table(n, config)
+    )
+
+
+def _build_svd_table(n: int, config: SolveConfig) -> NodeTable:
+    """Assemble the bound square table (see :func:`bind_svd_table`)."""
+    if n < 1:
+        raise ShapeError(f"matrix order must be positive, got {n}")
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    fused = config.fused
+    nbrd = brd_launch_count(npad, ts, config.coeffs)
+    PANEL, UPDATE = _SID[Stage.PANEL], _SID[Stage.UPDATE]
+    BRD, SOLVE = _SID[Stage.BRD], _SID[Stage.SOLVE]
+
+    # unique-key columns: the shared GEQRT panel key, per-k UNMQR widths,
+    # then fused per-r panels and per-sweep updates (or the single folded
+    # TSQRT key and per-k folded TSMQR keys), then the stage-2/3 keys
+    widths = np.arange(nbt - 1, 0, -1, dtype=np.float64) * ts  # k ascending
+    fam = [_FAM["panel"]] + [_FAM["update"]] * (nbt - 1)
+    ops = [(1.0, 1.0, 0.0, 0.0)]
+    ops += [(w, 1.0, 0.0, 0.0) for w in widths.tolist()]
+    S = 2 * (nbt - 1)  # sweeps; the last one has no rows below the pivot
+    F = max(S - 1, 0)  # sweeps emitting a full panel/update pair
+    s = np.arange(F, dtype=np.int64)
+    k = s >> 1
+    r = nbt - 1 - k - (s & 1)  # rows below the pivot, per sweep
+    if fused:
+        fam += [_FAM["panel"]] * (nbt - 1) + [_FAM["update"]] * F
+        ops += [(float(rr), 2.0, 0.0, 0.0) for rr in range(1, nbt)]
+        ops += [
+            (float(w), float(rr), 1.0, 0.0)
+            for w, rr in zip(widths[k].tolist(), r.tolist())
+        ]
+        panel2_id = (nbt - 1) + r  # FTSQRT key per sweep
+        update2_id = (2 * nbt - 1) + s  # FTSMQR key per sweep
+        brd_id = 2 * nbt - 1 + F
+    else:
+        fam += [_FAM["panel"]] + [_FAM["update"]] * (nbt - 1)
+        ops += [(1.0, 2.0, 0.0, 0.0)]
+        ops += [(w, 1.0, 1.0, 0.0) for w in widths.tolist()]
+        panel2_id = np.full(F, nbt, dtype=np.int64)  # one folded TSQRT key
+        update2_id = nbt + 1 + k  # folded TSMQR key per k
+        brd_id = 2 * nbt
+    fam += [_FAM["brd"], _FAM["solve"]]
+    ops += [(float(npad), float(ts), 0.0, 0.0), (float(n), 0.0, 0.0, 0.0)]
+
+    # node columns, assembled per segment: F full sweeps of four
+    # launches, the below-less tail sweep (GEQRT + UNMQR), the final
+    # diagonal GEQRT, the stage-2 chain, the CPU solve
+    sweep_kinds = (
+        ("geqrt", "unmqr", "ftsqrt", "ftsmqr")
+        if fused
+        else ("geqrt", "unmqr", "tsqrt", "tsmqr")
+    )
+    if nbt == 1:
+        # a single tile emits no sweeps; only the final GEQRT + stage 2/3
+        # below, and the sweep kinds never appear
+        kinds: Tuple[str, ...] = ("geqrt",)
+        segs = []
+    else:
+        kinds = sweep_kinds
+        neg = np.full(F, -1, dtype=np.int64)
+        counts4 = np.ones((F, 4), dtype=np.int64)
+        if not fused:  # folded TSQRT/TSMQR runs carry their launch count
+            counts4[:, 2] = r
+            counts4[:, 3] = r
+        segs = [
+            (
+                np.tile(np.arange(4, dtype=np.int64), F),
+                np.tile(
+                    np.array([PANEL, UPDATE, PANEL, UPDATE], np.int64), F
+                ),
+                np.stack(
+                    [np.zeros(F, np.int64), 1 + k, panel2_id, update2_id],
+                    axis=1,
+                ).ravel(),
+                # folded TSMQR nodes carry no meta, hence no sweep tag
+                np.stack([neg, s, neg, s if fused else neg], axis=1).ravel(),
+                counts4.ravel(),
+                np.ones(4 * F, bool),
+            ),
+            (  # tail sweep (s = S-1): GEQRT + UNMQR of width ts
+                np.array([0, 1], np.int64),
+                np.array([PANEL, UPDATE], np.int64),
+                np.array([0, nbt - 1], np.int64),
+                np.array([-1, S - 1], np.int64),
+                np.ones(2, np.int64),
+                np.ones(2, bool),
+            ),
+        ]
+    brd_kind = len(kinds)
+    solve_kind = brd_kind + (1 if nbrd else 0)
+    if nbrd:
+        kinds = kinds + ("brd_chase",)
+    kinds = kinds + ("bdsqr_cpu",)
+    primary_tail = np.ones(nbrd + 2, bool)
+    primary_tail[2:-1] = False  # chase cost rides on the first launch
+    segs.append(
+        (
+            np.r_[0, [brd_kind] * nbrd, solve_kind].astype(np.int64),
+            np.r_[PANEL, [BRD] * nbrd, SOLVE].astype(np.int64),
+            np.r_[0, [brd_id] * nbrd, brd_id + 1].astype(np.int64),
+            np.full(nbrd + 2, -1, dtype=np.int64),
+            np.ones(nbrd + 2, np.int64),
+            primary_tail,
+        )
+    )
+    kind_id, stage_id, key_id, sweep, counts, primary = (
+        np.concatenate([seg[i] for seg in segs]) for i in range(6)
+    )
+    return NodeTable(
+        kind="square",
+        n=n,
+        npad=npad,
+        ts=ts,
+        nbt=nbt,
+        ngpu=1,
+        out_of_core=False,
+        kinds=kinds,
+        kind_id=kind_id,
+        stage_id=stage_id,
+        key_id=key_id,
+        counts=counts,
+        primary=primary,
+        device=np.zeros(kind_id.size, dtype=np.int64),
+        sweep=sweep,
+        fam=np.asarray(fam, dtype=np.int64),
+        ops=np.asarray(ops, dtype=np.float64).reshape(len(fam), 4),
     )
 
 

@@ -19,11 +19,19 @@ seconds and can
 
 Pricing is memoized per ``(shape class, count)`` - the same shape-class
 collapsing that keys the tune/plan caches - so steady-state traffic
-admits without re-running the oracle.  With ``tune=True`` the controller
-additionally consults :meth:`repro.Solver.tune` once per shape class to
-pick the ``streams`` axis for in-core batches, restricted to candidates
-sharing the handle's kernel parameters so served numerics stay bitwise
-identical to synchronous solves.
+admits without re-running the oracle.  Since the struct-of-arrays
+pricing PR the oracle itself is *bind-and-price*: in-core single-stream
+batches bind the memoized chain skeleton of their shape family
+(:func:`repro.core.batched.bind_batched_table`) instead of emitting
+launch nodes, so a shed cascade that re-prices a shrinking batch each
+round costs one O(unique keys) rebind per round rather than a full
+re-emission - the old O(shed^2) node churn is gone
+(:meth:`AdmissionController.bind_stats` exposes the proof counters).
+With ``tune=True`` the controller additionally consults
+:meth:`repro.Solver.tune` once per shape class to pick the ``streams``
+axis for in-core batches, restricted to candidates sharing the handle's
+kernel parameters so served numerics stay bitwise identical to
+synchronous solves.
 """
 
 from __future__ import annotations
@@ -103,6 +111,23 @@ class AdmissionController:
         self._class_streams: Dict[ShapeClass, int] = {}
         self.price_hits = 0
         self.price_misses = 0
+        #: Oracle invocations (one per distinct ``(class, count)``); a
+        #: shed cascade increments this once per round, and each of
+        #: those rounds is a bound-table rebind, not a re-emission.
+        self.reprice_rounds = 0
+
+    def bind_stats(self) -> Dict[str, int]:
+        """Bound-structure memo counters behind this controller's oracle.
+
+        The hit/miss/entry counters of
+        :func:`repro.sim.table.bound_table_stats`: every admission price
+        of an in-core batch binds a memoized structure instead of
+        emitting nodes, so after warm-up repeated traffic shows hits
+        with no new misses (asserted by ``tests/test_serve.py``).
+        """
+        from ..sim.table import bound_table_stats
+
+        return bound_table_stats()
 
     # ------------------------------------------------------------------ #
     # capacity and pricing
@@ -157,6 +182,7 @@ class AdmissionController:
             self.price_hits += 1
             return hit
         self.price_misses += 1
+        self.reprice_rounds += 1
         if count <= self.capacity_for(cls):
             streams = self.streams_for(cls)
             result = self.solver.predict(
@@ -194,7 +220,10 @@ class AdmissionController:
 
         Shedding shrinks the batch and therefore its predicted service
         time, so the loop re-prices until the survivors are all
-        deadline-feasible (or the batch is empty).  A batch that cannot
+        deadline-feasible (or the batch is empty).  Each round's price
+        is an incremental rebind of the shape family's chain skeleton
+        (new problem count, same node structure), not a re-emission, so
+        a long cascade stays linear in its rounds.  A batch that cannot
         run even out-of-core sheds every member with the underlying
         :class:`~repro.errors.CapacityError` chained as the cause.
         """

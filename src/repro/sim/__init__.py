@@ -40,6 +40,12 @@ from .partition import (
 from .scaling import predict_multi_gpu, predict_out_of_core
 from .schedule import TimeBreakdown, predict, stage1_launch_count
 from .session import Session
+from .table import (
+    NodeTable,
+    bound_table_stats,
+    clear_bound_tables,
+    price_table,
+)
 from .timeline import (
     StreamSchedule,
     dump_json,
@@ -60,6 +66,7 @@ __all__ = [
     "LaunchNode",
     "LaunchRecord",
     "LinkSpec",
+    "NodeTable",
     "NumericExecutor",
     "OccupancyInfo",
     "REFERENCE_PARAMS",
@@ -69,8 +76,10 @@ __all__ = [
     "TimeBreakdown",
     "Tracer",
     "bidiag_solve_cost",
+    "bound_table_stats",
     "brd_cost",
     "check_shard_capacity",
+    "clear_bound_tables",
     "comm_cost",
     "panel_cost",
     "param_grid",
@@ -79,6 +88,7 @@ __all__ = [
     "predict_multi_gpu",
     "predict_out_of_core",
     "price_partitioned",
+    "price_table",
     "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",

@@ -51,7 +51,7 @@ numeric executor rejects them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .costmodel import (
@@ -75,6 +75,7 @@ __all__ = [
     "NumericExecutor",
     "TRANSFER_KINDS",
     "node_overhead_s",
+    "price_key",
     "price_node",
     "problem_range",
     "rekey_batched",
@@ -204,9 +205,29 @@ class LaunchGraph:
     #: nodes (analytic-only; keeps the unfused O(tiles^2) launch schedule
     #: priceable in O(tiles) nodes, like the pre-graph closed form).
     counted: bool = False
+    #: Lazily-built struct-of-arrays view (:meth:`table`); never part of
+    #: equality or construction.
+    _table: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def table(self):
+        """Struct-of-arrays view of this graph, built once and memoized.
+
+        The :class:`~repro.sim.table.NodeTable` is the representation the
+        array-native pricers consume; node lists stay the source of truth
+        for numeric replay.  Safe to cache because nodes are immutable
+        after emission (the scheduler's ``stream`` annotations are not
+        priced).
+        """
+        if self._table is None:
+            from .table import NodeTable  # table imports this module
+
+            self._table = NodeTable.from_graph(self)
+        return self._table
 
     def launch_counts(self) -> Dict[str, int]:
         """Kernel name -> launch count (matches the traced execution)."""
@@ -240,6 +261,20 @@ def price_node(
         cost = cache.get(key)
         if cost is not None:
             return cost
+    cost = price_key(key, config, storage, compute)
+    if cache is not None:
+        cache[key] = cost
+    return cost
+
+
+def price_key(key: Tuple, config, storage, compute) -> LaunchCost:
+    """Price one cost key against a resolved config (the scalar oracle).
+
+    The family dispatch behind :func:`price_node`, shared with the
+    struct-of-arrays path (:mod:`repro.sim.table`), which delegates the
+    low-multiplicity ``brd`` / ``solve`` families here and mirrors the
+    rest as array expressions.
+    """
     spec = config.backend.device
     params, coeffs = config.params, config.coeffs
     family = key[0]
@@ -302,8 +337,6 @@ def price_node(
         )
     else:  # pragma: no cover - emitter bug
         raise ValueError(f"unknown launch-cost family {family!r}")
-    if cache is not None:
-        cache[key] = cost
     return cost
 
 
@@ -325,6 +358,12 @@ class AnalyticExecutor:
     :class:`~repro.sim.tracing.Tracer`, so the per-stage seconds of a
     traced numeric run and of the analytic pricing are *float-identical*
     (not merely approximately equal).
+
+    :meth:`run` evaluates the graph's struct-of-arrays table
+    (:mod:`repro.sim.table`) in whole-array NumPy expressions;
+    :meth:`run_scalar` is the per-node reference loop it is pinned
+    against (``tests/test_table_props.py``) - the scalar loop is the
+    oracle, the array path is the implementation.
     """
 
     def __init__(self, config, storage, cache: Optional[dict] = None) -> None:
@@ -335,6 +374,12 @@ class AnalyticExecutor:
 
     def run(self, graph: LaunchGraph) -> "TimeBreakdown":
         """Return the priced :class:`~repro.sim.schedule.TimeBreakdown`."""
+        from .table import price_table  # table imports this module
+
+        return price_table(graph.table(), self.config, self.storage, self.cache)
+
+    def run_scalar(self, graph: LaunchGraph) -> "TimeBreakdown":
+        """Price node by node (the reference oracle for :meth:`run`)."""
         from .schedule import TimeBreakdown  # avoid import cycle
 
         spec = self.config.backend.device

@@ -72,6 +72,7 @@ __all__ = [
     "check_shard_capacity",
     "partition_graph",
     "price_partitioned",
+    "price_partitioned_scalar",
     "shard_rows",
 ]
 
@@ -470,6 +471,25 @@ def price_partitioned(
     cache: Optional[dict] = None,
 ) -> TimeBreakdown:
     """Price a partitioned graph into a :class:`TimeBreakdown`.
+
+    Array implementation over the graph's struct-of-arrays table: serial
+    stages fold in node order, per-sweep device maxima become grouped
+    ``np.maximum.reduceat`` reductions.  Float-identical to
+    :func:`price_partitioned_scalar`, the per-node reference oracle it is
+    pinned against (``tests/test_table_props.py``).
+    """
+    from .table import price_partitioned_table  # table imports this module
+
+    return price_partitioned_table(graph.table(), config, storage, cache)
+
+
+def price_partitioned_scalar(
+    graph: LaunchGraph,
+    config,
+    storage,
+    cache: Optional[dict] = None,
+) -> TimeBreakdown:
+    """Price a partitioned graph node by node (the reference oracle).
 
     Serial stages (panel chain, stage 2/3) accumulate in node order with
     the exact accounting of the

@@ -133,13 +133,24 @@ def predict_out_of_core_resolved(
     from .graph import AnalyticExecutor
     from .outofcore import rewrite_out_of_core
     from .partition import partition_graph, price_partitioned
+    from .table import bound_structure
     from .timeline import schedule_streams
 
-    graph = emit_svd_graph(n, config, streams=streams)
-    if ngpu > 1:
-        graph = partition_graph(graph, ngpu, config.link_spec(link_gbs))
-    graph = rewrite_out_of_core(
-        graph, config, storage, budget_bytes=budget_bytes
+    link = config.link_spec(link_gbs) if ngpu > 1 else None
+
+    def _compose():
+        graph = emit_svd_graph(n, config, streams=streams)
+        if ngpu > 1:
+            graph = partition_graph(graph, ngpu, link)
+        return rewrite_out_of_core(
+            graph, config, storage, budget_bytes=budget_bytes
+        )
+
+    # memoized per axes: repeated predictions of the same composition
+    # (tune candidates, admission re-pricing) reuse the rewritten graph
+    graph = bound_structure(
+        ("sq_ooc_graph", config, n, ngpu, streams, link, budget_bytes),
+        _compose,
     )
     if streams > 1:
         return schedule_streams(graph, config, storage, streams)
@@ -249,9 +260,15 @@ def predict_multi_gpu_resolved(
     # importable before repro.core
     from ..core.svd import emit_svd_graph
     from .partition import partition_graph, price_partitioned
+    from .table import bound_structure
 
-    graph = emit_svd_graph(n, config)
-    pgraph = partition_graph(graph, ngpus, config.link_spec(link_gbs))
+    link = config.link_spec(link_gbs)
+    # memoized per axes: the partitioned structure is built once and
+    # repeated predictions (tune candidates) price its cached table
+    pgraph = bound_structure(
+        ("sq_part_graph", config, n, ngpus, link),
+        lambda: partition_graph(emit_svd_graph(n, config), ngpus, link),
+    )
     return price_partitioned(pgraph, config, storage)
 
 

@@ -28,7 +28,6 @@ from ..backends.backend import BackendLike
 from ..errors import ShapeError
 from ..precision import PrecisionLike
 from .costmodel import DEFAULT_COEFFS, CostCoefficients
-from .graph import AnalyticExecutor
 from .params import KernelParams
 from .tracing import Stage
 
@@ -130,20 +129,23 @@ def predict_resolved(
     """Single-matrix prediction against a resolved ``SolveConfig``.
 
     The single shared code path behind :meth:`repro.Solver.predict` and
-    the legacy :func:`predict` shim: emit the launch graph the numeric
-    driver would replay, then price it analytically.
+    the legacy :func:`predict` shim: bind the shape-parametric sweep
+    structure to ``(n, config)`` (memoized; no per-tile node emission)
+    and price the struct-of-arrays table analytically.  Float-identical
+    to pricing ``emit_svd_graph(n, config, counted=True)`` node by node.
     """
-    # the emitter lives with the drivers; importing it lazily keeps
-    # repro.sim importable before repro.core
-    from ..core.svd import emit_svd_graph
+    # the structure binder lives with the drivers; importing it lazily
+    # keeps repro.sim importable before repro.core
+    from ..core.svd import bind_svd_table
 
     storage = config.require_precision("prediction")
     if n < 1:
         raise ShapeError(f"matrix order must be positive, got {n}")
     if check_capacity:
         config.backend.check_capacity(n, storage)
-    graph = emit_svd_graph(n, config, counted=True)
-    return AnalyticExecutor(config, storage).run(graph)
+    from .table import price_table
+
+    return price_table(bind_svd_table(n, config), config, storage, None)
 
 
 def predict(

@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..report import format_seconds, format_table
-from .graph import LaunchGraph, node_overhead_s, price_node
+from .graph import LaunchGraph
+from .table import stream_costs
 from .tracing import Stage, Tracer
 
 __all__ = [
@@ -197,23 +198,17 @@ def schedule_streams(
             "counted graphs fold launch runs and cannot be list-scheduled; "
             "emit with counted=False"
         )
-    spec = config.backend.device
-    compute = config.backend.compute_precision(storage)
     nodes = graph.nodes
     nnodes = len(nodes)
     ngpu = graph.ngpu
-    if cache is None:
-        cache = {}  # run-local price memo (sweeps share launch shapes)
 
-    durs = [0.0] * nnodes
-    stage_seconds: Dict[str, float] = {}
-    launches: Dict[str, int] = {}
-    for i, node in enumerate(nodes):
-        cost = price_node(node, config, storage, compute, cache)
-        durs[i] = cost.seconds + node_overhead_s(node, spec)
-        stage_seconds[node.stage] = stage_seconds.get(node.stage, 0.0) + durs[i]
-        launches[node.kind] = launches.get(node.kind, 0) + 1
-    serial_s = sum(durs)
+    # whole-array pricing over the struct-of-arrays table (float-identical
+    # to the per-node loop; see repro.sim.table); the greedy placement
+    # below stays scalar - it is inherently sequential and cheap
+    durs_arr, stage_seconds, launches, serial_s = stream_costs(
+        graph.table(), config, storage, cache
+    )
+    durs = durs_arr.tolist()
 
     # longest path to a sink (node list order is topological)
     children: List[List[int]] = [[] for _ in range(nnodes)]

@@ -67,6 +67,7 @@ from .core.tiling import ntiles
 from .core.vectors import svd_full_resolved
 from .sim.partition import check_shard_capacity, partition_graph
 from .sim.scaling import predict_multi_gpu_resolved, predict_out_of_core_resolved
+from .sim.table import bound_structure
 
 __all__ = ["Solver", "SvdPlan"]
 
@@ -394,12 +395,21 @@ class Solver:
             return predict_multi_gpu_resolved(
                 n, self._config, ngpu, link_gbs=link_gbs
             )
-        graph = emit_svd_graph(n, self._config, streams=streams)
-        if ngpu > 1:
-            graph = partition_graph(
-                graph, ngpu, self._config.link_spec(link_gbs)
-            )
-        return schedule_streams(graph, self._config, storage, streams)
+        config = self._config
+        link = config.link_spec(link_gbs) if ngpu > 1 else None
+
+        def _compose():
+            graph = emit_svd_graph(n, config, streams=streams)
+            if ngpu > 1:
+                graph = partition_graph(graph, ngpu, link)
+            return graph
+
+        # memoized per axes (see repro.sim.table): repeated stream-path
+        # predictions reuse the emitted/partitioned graph and its table
+        graph = bound_structure(
+            ("sq_stream_graph", config, n, streams, ngpu, link), _compose
+        )
+        return schedule_streams(graph, config, storage, streams)
 
     # ------------------------------------------------------------------ #
     # analytic autotuning

@@ -53,6 +53,8 @@ CORE_ALL = [
     "SVDResult",
     "band_to_bidiagonal",
     "band_width",
+    "bind_batched_table",
+    "bind_svd_table",
     "bisect",
     "emit_band_reduction",
     "emit_batched_graph",
@@ -89,6 +91,7 @@ SIM_ALL = [
     "LaunchNode",
     "LaunchRecord",
     "LinkSpec",
+    "NodeTable",
     "NumericExecutor",
     "OccupancyInfo",
     "REFERENCE_PARAMS",
@@ -98,8 +101,10 @@ SIM_ALL = [
     "TimeBreakdown",
     "Tracer",
     "bidiag_solve_cost",
+    "bound_table_stats",
     "brd_cost",
     "check_shard_capacity",
+    "clear_bound_tables",
     "comm_cost",
     "dump_json",
     "kernel_summary",
@@ -110,6 +115,7 @@ SIM_ALL = [
     "predict_multi_gpu",
     "predict_out_of_core",
     "price_partitioned",
+    "price_table",
     "render_timeline",
     "rewrite_out_of_core",
     "schedule_streams",

@@ -264,6 +264,56 @@ class TestAdmissionController:
         assert first is second
         assert ctrl.price_hits == 1 and ctrl.price_misses == 1
 
+    def test_shed_cascade_rebinds_instead_of_reemitting(self, monkeypatch):
+        """Call-count pin: a shed cascade never re-emits launch nodes.
+
+        Shedding shrinks the batch and re-prices it, so one admit runs
+        the oracle once per round.  Every round must be a bound-table
+        rebind of the shared chain skeleton - zero emit_batched_graph
+        calls, one skeleton build, one table bind per distinct count -
+        and a repeat admit of the surviving count must be a pure price
+        memo hit (no new binds at all).
+        """
+        from repro.core import batched as batched_mod
+        from repro.sim.table import bound_table_stats, clear_bound_tables
+
+        config = Solver(backend="h100", precision="fp32").config
+        ctrl = AdmissionController(config)
+        cls = shape_class(64, config)
+
+        emits = []
+        monkeypatch.setattr(
+            batched_mod,
+            "emit_batched_graph",
+            lambda *a, **k: emits.append(a) or (_ for _ in ()).throw(
+                AssertionError("admission pricing emitted a node list")
+            ),
+        )
+        clear_bound_tables()
+        # 8 hopeless requests shed in round one; 4 generous ones admit
+        # after the round-two re-price of the shrunken batch
+        reqs = [
+            SvdRequest(seq=i, n=64, cls=cls, t_submit=0.0,
+                       slo_s=1e-12 if i < 8 else 60.0)
+            for i in range(12)
+        ]
+        decision = ctrl.admit(Batch(cls=cls, requests=reqs), now=0.0)
+        assert len(decision.shed) == 8 and len(decision.admitted) == 4
+        assert not emits
+        assert ctrl.reprice_rounds == 2  # priced at 12, re-priced at 4
+        stats = bound_table_stats()
+        # one bound table per distinct count plus one shared skeleton
+        assert stats["misses"] == 3
+        assert ctrl.price_misses == 2
+
+        # steady state: the same counts admit without binding anything
+        again = ctrl.admit(Batch(cls=cls, requests=list(reqs)), now=0.0)
+        assert len(again.admitted) == 4
+        assert ctrl.reprice_rounds == 2  # both rounds were memo hits
+        after = bound_table_stats()
+        assert after["misses"] == stats["misses"]
+        assert ctrl.price_hits >= 2
+
 
 class TestBatchRunner:
     def test_graph_memo_counts(self, rng):

@@ -1,0 +1,250 @@
+"""Property tests for the struct-of-arrays pricing layer (repro.sim.table).
+
+The layer's invariant (see ARCHITECTURE.md): **the scalar node loop is
+the oracle, the array path is the implementation**.  These tests pin it
+with hypothesis across the composition matrix - backends x precisions x
+fused x streams x ngpu x out_of_core x batch:
+
+* vectorized table pricing is *float-identical* (``==``, not allclose)
+  to pricing every node through ``price_node``;
+* bound shape-parametric tables (:func:`repro.core.svd.bind_svd_table`,
+  :func:`repro.core.batched.bind_batched_table`) are node-for-node equal
+  to the tables of directly-emitted graphs.
+"""
+
+import numpy as np
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Solver
+from repro.core.batched import bind_batched_table, emit_batched_graph
+from repro.core.svd import bind_svd_table, emit_svd_graph
+from repro.errors import UnsupportedPrecisionError
+from repro.sim.graph import AnalyticExecutor, node_overhead_s, price_node
+from repro.sim.outofcore import rewrite_out_of_core
+from repro.sim.partition import (
+    partition_graph,
+    price_partitioned,
+    price_partitioned_scalar,
+)
+from repro.sim.table import clear_bound_tables, price_table, stream_costs
+
+
+def resolved(backend, precision):
+    """(config, storage) for a pair, rejecting the paper's support gaps."""
+    try:
+        config = Solver(backend=backend, precision=precision).config
+    except UnsupportedPrecisionError:
+        assume(False)
+    return config, config.require_precision("test")
+
+
+def assert_breakdowns_identical(a, b):
+    """Every float field equal bit for bit, launches equal exactly."""
+    for attr in (
+        "panel_s", "update_s", "brd_s", "solve_s", "comm_s", "io_s",
+        "total_s", "flops", "bytes",
+    ):
+        assert getattr(a, attr) == getattr(b, attr), attr
+    assert a.launches == b.launches
+
+
+def assert_tables_equal(bound, emitted):
+    """Node-for-node equality up to key/kind *numbering* (names/tuples).
+
+    The bound builders lay out key ids in closed form while
+    ``NodeTable.from_graph`` numbers them first-seen (and may dedupe
+    colliding update widths across chains), so ids are compared through
+    the tuples and names they denote - the representation pricing
+    consumes.
+    """
+    for name in ("kind", "n", "npad", "ts", "nbt", "ngpu", "out_of_core",
+                 "kinds"):
+        assert getattr(bound, name) == getattr(emitted, name), name
+    assert len(bound) == len(emitted)
+    for col in ("stage_id", "counts", "primary", "device", "sweep"):
+        assert np.array_equal(getattr(bound, col), getattr(emitted, col)), col
+    bk, ek = bound.key_tuples(), emitted.key_tuples()
+    for i in range(len(bound)):
+        assert bound.kinds[bound.kind_id[i]] == emitted.kinds[
+            emitted.kind_id[i]
+        ], f"node {i} kind"
+        assert bk[bound.key_id[i]] == ek[emitted.key_id[i]], f"node {i} key"
+
+
+BACKENDS = ("h100", "rtx4060", "mi250", "m1pro")
+PRECISIONS = ("fp16", "fp32", "fp64")
+
+
+class TestVectorizedPricingIsTheScalarOracle:
+    """price_table == per-node price_node loop, float for float."""
+
+    @given(
+        backend=st.sampled_from(BACKENDS),
+        precision=st.sampled_from(PRECISIONS),
+        fused=st.booleans(),
+        counted=st.booleans(),
+        n=st.integers(1, 700),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_square_serial(self, backend, precision, fused, counted, n):
+        config, storage = resolved(backend, precision)
+        config = config.with_(fused=fused)
+        graph = emit_svd_graph(n, config, counted=counted)
+        table_bd = AnalyticExecutor(config, storage).run(graph)
+        scalar_bd = AnalyticExecutor(config, storage).run_scalar(graph)
+        assert_breakdowns_identical(table_bd, scalar_bd)
+
+    @given(
+        backend=st.sampled_from(BACKENDS),
+        precision=st.sampled_from(PRECISIONS),
+        n=st.integers(1, 300),
+        batch=st.integers(1, 24),
+        streams=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batched_serial(self, backend, precision, n, batch, streams):
+        config, storage = resolved(backend, precision)
+        graph = emit_batched_graph(n, batch, config, streams=streams)
+        table_bd = AnalyticExecutor(config, storage).run(graph)
+        scalar_bd = AnalyticExecutor(config, storage).run_scalar(graph)
+        assert_breakdowns_identical(table_bd, scalar_bd)
+
+    @given(
+        precision=st.sampled_from(PRECISIONS),
+        n=st.integers(64, 600),
+        ngpu=st.integers(2, 4),
+        out_of_core=st.booleans(),
+        batched=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_partitioned(self, precision, n, ngpu, out_of_core, batched):
+        config, storage = resolved("h100", precision)
+        if batched:
+            graph = emit_batched_graph(n, 6, config)
+        else:
+            graph = emit_svd_graph(n, config)
+        graph = partition_graph(graph, ngpu, config.link_spec(None))
+        if out_of_core:
+            # the smallest budget the rewriter accepts, so transfer nodes
+            # appear whenever the per-device shard exceeds it
+            if batched:
+                per_prob = graph.npad**2 * storage.sizeof * 1.25
+                budget = 1.35 * per_prob
+            else:
+                ts, nbt, npad = graph.ts, graph.nbt, graph.npad
+                band_tiles = -(-(npad * (ts + 1)) // ts**2)
+                cap = 3 * nbt + band_tiles + 4
+                budget = (cap + 0.5) * ts * ts * storage.sizeof * 1.25
+            graph = rewrite_out_of_core(
+                graph, config, storage, budget_bytes=budget
+            )
+        table_bd = price_partitioned(graph, config, storage)
+        scalar_bd = price_partitioned_scalar(graph, config, storage)
+        assert_breakdowns_identical(table_bd, scalar_bd)
+        assert table_bd.ngpu == scalar_bd.ngpu
+
+    @given(
+        precision=st.sampled_from(PRECISIONS),
+        n=st.integers(32, 500),
+        streams=st.integers(2, 4),
+        out_of_core=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stream_costs(self, precision, n, streams, out_of_core):
+        """The scheduler's array pricing == the per-node scalar loop."""
+        config, storage = resolved("h100", precision)
+        graph = emit_svd_graph(n, config, streams=streams)
+        if out_of_core:
+            budget = 8 * graph.ts * graph.npad * storage.sizeof
+            graph = rewrite_out_of_core(
+                graph, config, storage, budget_bytes=budget
+            )
+        durs, stage_seconds, launches, serial_s = stream_costs(
+            graph.table(), config, storage, None
+        )
+        spec = config.backend.device
+        compute = config.backend.compute_precision(storage)
+        ref_durs: list = []
+        ref_stages: dict = {}
+        ref_launches: dict = {}
+        cache: dict = {}
+        for node in graph.nodes:
+            cost = price_node(node, config, storage, compute, cache)
+            dur = cost.seconds + node_overhead_s(node, spec)
+            ref_durs.append(dur)
+            ref_stages[node.stage] = ref_stages.get(node.stage, 0.0) + dur
+            ref_launches[node.kind] = ref_launches.get(node.kind, 0) + 1
+        assert durs.tolist() == ref_durs
+        assert stage_seconds == ref_stages
+        assert launches == ref_launches
+        assert serial_s == sum(ref_durs)
+
+
+class TestBoundTablesMatchEmittedGraphs:
+    """Shape-parametric binding == direct emission, node for node."""
+
+    @given(
+        backend=st.sampled_from(BACKENDS),
+        precision=st.sampled_from(PRECISIONS),
+        fused=st.booleans(),
+        n=st.integers(1, 900),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_square(self, backend, precision, fused, n):
+        config, storage = resolved(backend, precision)
+        config = config.with_(fused=fused)
+        clear_bound_tables()
+        bound = bind_svd_table(n, config)
+        emitted = emit_svd_graph(n, config, counted=True).table()
+        assert_tables_equal(bound, emitted)
+        assert_breakdowns_identical(
+            price_table(bound, config, storage, None),
+            price_table(emitted, config, storage, None),
+        )
+
+    @given(
+        backend=st.sampled_from(BACKENDS),
+        precision=st.sampled_from(PRECISIONS),
+        n=st.integers(1, 400),
+        batch=st.integers(1, 24),
+        streams=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched(self, backend, precision, n, batch, streams):
+        config, storage = resolved(backend, precision)
+        clear_bound_tables()
+        bound = bind_batched_table(n, batch, config, streams=streams)
+        emitted = emit_batched_graph(n, batch, config, streams=streams).table()
+        assert_tables_equal(bound, emitted)
+        assert_breakdowns_identical(
+            price_table(bound, config, storage, None),
+            price_table(emitted, config, storage, None),
+        )
+
+
+class TestCacheOverlaySemantics:
+    """A shared LaunchCost cache behaves identically on both paths."""
+
+    @given(
+        n=st.integers(16, 400),
+        precision=st.sampled_from(PRECISIONS),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cache_filled_identically(self, n, precision):
+        config, storage = resolved("h100", precision)
+        graph = emit_svd_graph(n, config)
+        c_table: dict = {}
+        c_scalar: dict = {}
+        bd_t = AnalyticExecutor(config, storage, cache=c_table).run(graph)
+        bd_s = AnalyticExecutor(config, storage, cache=c_scalar).run_scalar(
+            graph
+        )
+        assert_breakdowns_identical(bd_t, bd_s)
+        assert set(c_table) == set(c_scalar)
+        for key, cost in c_scalar.items():
+            assert c_table[key] == cost, key
+        # replay through the warm cache: still identical
+        bd_t2 = AnalyticExecutor(config, storage, cache=c_table).run(graph)
+        assert_breakdowns_identical(bd_t2, bd_s)
