@@ -1,0 +1,185 @@
+"""Cluster strong scaling under the discrete-event scheduler.
+
+PR 8 extends the partitioner to ``nodes x gpus`` two-tier topologies and
+prices them through the PPT-style discrete-event engine
+(:func:`repro.sim.events.simulate_events`): every launch occupies a
+resource - device stream pool, peer-link lane, or the node's one fabric
+lane - for its priced duration, so the makespan includes the FIFO
+queueing a greedy list scheduler cannot express.  This bench records
+what that unlocks:
+
+1. strong scaling over node counts at fixed gpus-per-node, reporting
+   the makespan, speedup over one node, the per-tier comm split
+   (node-local link vs inter-node fabric) and the contention share of
+   the makespan;
+2. the fabric-bandwidth sensitivity: halving the inter-node bandwidth
+   must slow the prediction, and extra fabric lanes must relieve (never
+   worsen) the queueing of oversubscribed batched gathers.
+
+Run standalone with ``--quick`` for the CI smoke slice::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_scaling.py --quick
+"""
+
+import argparse
+
+import repro
+from repro.report import format_seconds, format_table
+
+SIZES = (8192, 16384)
+QUICK_SIZES = (4096,)
+NODES = (1, 2, 4)
+GPUS_PER_NODE = 2
+
+
+def scaling_rows(solver: "repro.Solver", n: int) -> list:
+    """One cluster strong-scaling table block for matrix order ``n``."""
+    rows = []
+    base_total = None
+    for m in NODES:
+        result = solver.predict(
+            n, ngpu=GPUS_PER_NODE, nodes=m, check_capacity=False
+        )
+        if m == 1:
+            # one node is the greedy device-aware schedule: no fabric,
+            # no inter-tier comm to queue on
+            assert result.comm_s >= 0.0
+            base_total = result.total_s
+            inter_s = getattr(result, "comm_inter_s", 0.0)
+            queue_share = 0.0
+        else:
+            assert result.comm_inter_s > 0.0, f"n={n}, m={m}: no inter comm"
+            inter_s = result.comm_inter_s
+            queue_share = result.contention_share
+        rows.append(
+            [
+                str(n),
+                f"{m} x {GPUS_PER_NODE}",
+                format_seconds(result.total_s).strip(),
+                f"{base_total / result.total_s:.2f}x",
+                format_seconds(getattr(result, "comm_intra_s", 0.0)).strip(),
+                format_seconds(inter_s).strip(),
+                f"{queue_share:5.1%}",
+            ]
+        )
+    return rows
+
+
+def fabric_rows(solver: "repro.Solver", n: int) -> list:
+    """Inter-node bandwidth sensitivity at a fixed topology."""
+    fast = solver.predict(n, ngpu=GPUS_PER_NODE, nodes=2, check_capacity=False)
+    slow = solver.predict(
+        n, ngpu=GPUS_PER_NODE, nodes=2, fabric_gbs=25.0, check_capacity=False
+    )
+    assert slow.total_s > fast.total_s, "halved fabric must cost time"
+    return [
+        [str(n), "50 GB/s (default)", format_seconds(fast.total_s).strip()],
+        [str(n), "25 GB/s", format_seconds(slow.total_s).strip()],
+    ]
+
+
+def contention_rows(solver: "repro.Solver") -> list:
+    """Oversubscribed batched gathers: fabric lanes vs FIFO queueing."""
+    from repro.core import emit_batched_graph
+    from repro.sim import partition_graph, simulate_events
+
+    config = solver.config
+    storage = config.require_precision("bench")
+    graph = partition_graph(
+        emit_batched_graph(256, 32, config, streams=1),
+        2, nodes=4, fabric=config.fabric_spec(),
+    )
+    rows = []
+    prev = None
+    for lanes in (1, 2, 8):
+        ev = simulate_events(
+            graph, config, storage, streams=1, fabric_lanes=lanes
+        )
+        if prev is not None:
+            assert ev.contention_s <= prev, "more lanes must relieve queueing"
+        prev = ev.contention_s
+        rows.append(
+            [
+                str(lanes),
+                format_seconds(ev.makespan_s).strip(),
+                format_seconds(ev.contention_s).strip(),
+                f"{ev.contention_share:5.1%}",
+            ]
+        )
+    assert rows[0][2] != rows[-1][2], "lane sweep should move contention"
+    return rows
+
+
+def run(quick: bool = False) -> str:
+    solver = repro.Solver(backend="h100", precision="fp32")
+    sizes = QUICK_SIZES if quick else SIZES
+    body = []
+    for n in sizes:
+        body.extend(scaling_rows(solver, n))
+    text = format_table(
+        ["n", "nodes x gpus", "makespan", "speedup", "comm intra",
+         "comm inter", "queue share"],
+        body,
+        title="cluster strong scaling, discrete-event scheduler "
+        "(h100 fp32, NVLink + 50 GB/s fabric)",
+    )
+    fab = []
+    for n in sizes:
+        fab.extend(fabric_rows(solver, n))
+    text += "\n\n" + format_table(
+        ["n", "fabric bandwidth", "makespan"],
+        fab,
+        title="inter-node fabric sensitivity at 2 x "
+        f"{GPUS_PER_NODE} devices",
+    )
+    text += "\n\n" + format_table(
+        ["fabric lanes", "makespan", "total FIFO wait", "queue share"],
+        contention_rows(solver),
+        title="oversubscribed batched gathers: 4 nodes -> node 0, "
+        "batch=32",
+    )
+    return text
+
+
+def metrics() -> dict:
+    """Deterministic predicted-time metrics for the CI regression gate."""
+    from conftest import get_solver
+
+    solver = get_solver()
+    out = {}
+    for m in (2, 4):
+        ev = solver.predict(
+            8192, ngpu=GPUS_PER_NODE, nodes=m, check_capacity=False
+        )
+        out[f"cluster/makespan_s@8192_m{m}"] = ev.makespan_s
+    ev4 = solver.predict(8192, ngpu=GPUS_PER_NODE, nodes=4,
+                         check_capacity=False)
+    out["cluster/comm_inter_s@8192_m4"] = ev4.comm_inter_s
+    out["cluster/contention_s@8192_m4"] = ev4.contention_s
+    out["cluster/batched_makespan_s@512_b64_m2"] = solver.predict(
+        512, batch=64, ngpu=GPUS_PER_NODE, nodes=2, check_capacity=False
+    ).makespan_s
+    return out
+
+
+def test_cluster_scaling(benchmark, solver):
+    from conftest import save_result
+
+    text = run(quick=False)
+    save_result("cluster_scaling", text)
+    benchmark(
+        lambda: solver.predict(
+            8192, ngpu=GPUS_PER_NODE, nodes=2, check_capacity=False
+        )
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke slice: one small size, no results file",
+    )
+    args = parser.parse_args()
+    print(run(quick=args.quick))

@@ -34,6 +34,7 @@ from pathlib import Path
 
 #: Benchmark modules contributing metrics to the gate.
 BENCH_MODULES = (
+    "bench_cluster_scaling",
     "bench_graph_replay",
     "bench_multi_gpu_scaling",
     "bench_out_of_core",

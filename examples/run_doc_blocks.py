@@ -1,0 +1,56 @@
+"""Execute every fenced ``python`` block of the given markdown files.
+
+The executable-docs harness behind the CI ``docs`` job: any markdown
+file whose examples should not rot lists itself here.  Blocks within one
+file share a namespace (so a document can build up state step by step);
+files are independent.  A block that raises fails the run with the file
+and block number.  Run from the repository root::
+
+    PYTHONPATH=src python examples/run_doc_blocks.py README.md docs/*.md
+
+With no arguments the runner covers README.md plus every ``docs/*.md``.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Fenced block opener: ```python (the README/docs convention).
+BLOCK_RE = re.compile(r"```python\n(.*?)```", re.S)
+
+
+def run_file(path: pathlib.Path) -> int:
+    """Execute a file's python blocks in one shared namespace."""
+    blocks = BLOCK_RE.findall(path.read_text())
+    if not blocks:
+        print(f"ERROR: {path} has no ```python block")
+        raise SystemExit(1)
+    namespace = {}
+    for i, block in enumerate(blocks, 1):
+        lines = len(block.splitlines())
+        print(f"-- {path.name}: executing block {i} ({lines} lines)")
+        exec(compile(block, f"{path}[block {i}]", "exec"), namespace)
+    return len(blocks)
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args:
+        paths = [pathlib.Path(a) for a in args]
+    else:
+        paths = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"ERROR: no such file(s): {', '.join(map(str, missing))}")
+        return 1
+    total = 0
+    for path in paths:
+        total += run_file(path)
+    print(f"docs OK ({total} block(s) across {len(paths)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,28 +1,24 @@
 """Execute the README's ``python`` code blocks (the CI smoke check).
 
 The README's 60-second quickstart is the repo's front door; this runner
-extracts every fenced ``python`` block and executes it, so the docs
-cannot silently rot.  Run from the repository root::
+executes every fenced ``python`` block so the docs cannot silently rot.
+It is a thin shim over the generalized harness
+(``examples/run_doc_blocks.py``), which the CI ``docs`` job also runs
+over the ``docs/`` tree.  Run from the repository root::
 
     PYTHONPATH=src python examples/run_readme_quickstart.py
 """
 
 import pathlib
-import re
 import sys
 
 
 def main() -> int:
-    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
-    blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), re.S)
-    if not blocks:
-        print("ERROR: README.md has no ```python quickstart block")
-        return 1
-    for i, block in enumerate(blocks, 1):
-        print(f"-- executing README block {i} ({len(block.splitlines())} lines)")
-        exec(compile(block, f"README.md[block {i}]", "exec"), {})
-    print(f"README quickstart OK ({len(blocks)} block(s))")
-    return 0
+    here = pathlib.Path(__file__).resolve().parent
+    sys.path.insert(0, str(here))
+    from run_doc_blocks import main as run_doc_blocks_main
+
+    return run_doc_blocks_main([str(here.parent / "README.md")])
 
 
 if __name__ == "__main__":

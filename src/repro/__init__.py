@@ -24,12 +24,16 @@ driver — while :meth:`Solver.svd` returns full singular vectors and
 ``batch=b`` - the batched launch graph, one grid covering all problems
 per step - multi-stream lookahead overlap with ``streams=k``,
 ``ngpu=g`` - the launch graph sharded across devices with explicit comm
-nodes - or ``out_of_core=True`` - the graph rewritten to stream through
-a bounded device window with explicit host-link transfer nodes).  Every
-axis **composes**: ``predict(n, batch=b, ngpu=g, streams=k,
-out_of_core=True)`` runs one emit → partition → rewrite → price
-pipeline.  :meth:`Solver.tune` searches that whole space analytically —
-kernel hyperparameters × ``streams`` × ``ngpu`` × window budget — and
+nodes - ``nodes=m`` - cluster execution over a two-tier ``m x g``
+fabric, priced by the discrete-event simulator
+(:func:`repro.sim.simulate_events`) so queueing and link contention are
+modeled - or ``out_of_core=True`` - the graph rewritten to stream
+through a bounded device window with explicit host-link transfer
+nodes).  Every axis **composes**: ``predict(n, batch=b, ngpu=g,
+streams=k, out_of_core=True)`` runs one emit → partition → rewrite →
+price pipeline.  :meth:`Solver.tune` searches that whole space
+analytically — kernel hyperparameters × ``streams`` × ``ngpu`` ×
+window budget, plus the ``nodes`` cluster axis on request — and
 returns a ranked :class:`repro.tuning.TunePlan` whose winner is never
 analytically slower than the untuned default.
 ``method="jacobi"`` runs the one-sided Jacobi cross-check through the
@@ -98,7 +102,7 @@ from .sim import (
 from .solver import Solver, SvdPlan
 from .serve import ServiceStats, SvdService
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     # unified handle surface (the recommended API)

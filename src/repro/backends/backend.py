@@ -160,6 +160,7 @@ class Backend:
         return np.ascontiguousarray(a, dtype=prec.dtype)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Backend tagged by its registry name."""
         return f"Backend({self.name})"
 
 

@@ -114,6 +114,7 @@ class TileResidency:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Residency summary (resident / capacity tiles)."""
         return (
             f"TileResidency(device={self.device}, "
             f"resident={self.resident_tiles}/{self.capacity_tiles})"
@@ -225,6 +226,7 @@ class DeviceMatrix:
         return self.data.nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Shape/precision/backend summary of the device matrix."""
         return (
             f"DeviceMatrix(n={self.n}, precision={self.precision.name}, "
             f"backend={self.backend.name})"

@@ -107,4 +107,5 @@ class BaselineLibrary(abc.ABC):
         return np.asarray(vals, dtype=np.float64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Tagged baseline name."""
         return f"<baseline {self.name}>"

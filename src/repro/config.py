@@ -17,7 +17,13 @@ from typing import Optional
 from .backends.backend import Backend, BackendLike, resolve_backend
 from .errors import InvalidParamsError
 from .precision import Precision, PrecisionLike
-from .sim.costmodel import DEFAULT_COEFFS, CostCoefficients, LinkSpec
+from .sim.costmodel import (
+    DEFAULT_COEFFS,
+    DEFAULT_INTER_LINK,
+    CostCoefficients,
+    FabricSpec,
+    LinkSpec,
+)
 from .sim.params import KernelParams
 from .sim.session import Session
 
@@ -55,6 +61,10 @@ class SolveConfig:
     #: Peer interconnect override for multi-GPU prediction; ``None``
     #: uses the backend's default link (NVLink / Infinity Fabric / ...).
     link: Optional[LinkSpec] = None
+    #: Two-tier cluster interconnect override for multi-node prediction;
+    #: ``None`` composes the resolved intra-node link with the default
+    #: inter-node fabric (:data:`~repro.sim.costmodel.DEFAULT_INTER_LINK`).
+    fabric: Optional[FabricSpec] = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -72,6 +82,7 @@ class SolveConfig:
         jacobi_tol: Optional[float] = None,
         jacobi_max_sweeps: int = 60,
         link: Optional[LinkSpec] = None,
+        fabric: Optional[FabricSpec] = None,
     ) -> "SolveConfig":
         """Resolve and validate every axis of the configuration up front.
 
@@ -118,6 +129,19 @@ class SolveConfig:
                 f"link needs positive bandwidth and non-negative latency, "
                 f"got {link}"
             )
+        if fabric is not None:
+            if not isinstance(fabric, FabricSpec):
+                raise InvalidParamsError(
+                    f"fabric must be a FabricSpec, got {type(fabric).__name__}"
+                )
+            for tier in (fabric.intra, fabric.inter):
+                if not isinstance(tier, LinkSpec) or (
+                    tier.bandwidth_gbs <= 0 or tier.latency_us < 0
+                ):
+                    raise InvalidParamsError(
+                        f"fabric tiers need positive bandwidth and "
+                        f"non-negative latency, got {fabric}"
+                    )
         return cls(
             backend=be,
             precision=prec,
@@ -131,6 +155,7 @@ class SolveConfig:
             jacobi_tol=jacobi_tol,
             jacobi_max_sweeps=int(jacobi_max_sweeps),
             link=link,
+            fabric=fabric,
         )
 
     # ------------------------------------------------------------------ #
@@ -178,6 +203,38 @@ class SolveConfig:
                 )
             link = link.with_(bandwidth_gbs=float(link_gbs))
         return link
+
+    def fabric_spec(
+        self,
+        link_gbs: Optional[float] = None,
+        fabric_gbs: Optional[float] = None,
+    ) -> FabricSpec:
+        """The two-tier cluster interconnect multi-node prediction uses.
+
+        The intra tier resolves exactly like :meth:`link_spec` (the
+        configured ``fabric.intra`` winning over the ``link`` axis); the
+        inter tier is the configured ``fabric.inter`` or the default
+        inter-node fabric, with a ``fabric_gbs`` bandwidth override
+        winning over both.
+        """
+        if self.fabric is not None:
+            intra, inter = self.fabric.intra, self.fabric.inter
+        else:
+            intra, inter = self.link_spec(), DEFAULT_INTER_LINK
+        if link_gbs is not None:
+            if link_gbs <= 0:
+                raise InvalidParamsError(
+                    f"link_gbs must be a positive bandwidth, got {link_gbs}"
+                )
+            intra = intra.with_(bandwidth_gbs=float(link_gbs))
+        if fabric_gbs is not None:
+            if fabric_gbs <= 0:
+                raise InvalidParamsError(
+                    f"fabric_gbs must be a positive bandwidth, "
+                    f"got {fabric_gbs}"
+                )
+            inter = inter.with_(bandwidth_gbs=float(fabric_gbs))
+        return FabricSpec(intra=intra, inter=inter)
 
     def session(self, storage: Precision, cost_cache: Optional[dict] = None) -> Session:
         """Fresh tracing session bound to this configuration.

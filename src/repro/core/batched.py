@@ -44,7 +44,7 @@ import numpy as np
 
 from ..backends.backend import BackendLike
 from ..config import SolveConfig
-from ..errors import CapacityError, ShapeError
+from ..errors import CapacityError, InvalidParamsError, ShapeError
 from ..precision import PrecisionLike
 from ..sim.costmodel import (
     DEFAULT_COEFFS,
@@ -453,9 +453,11 @@ def predict_batched_resolved(
     batch: int,
     config: SolveConfig,
     ngpu: int = 1,
+    nodes: int = 1,
     streams: int = 1,
     out_of_core: bool = False,
     link_gbs: Optional[float] = None,
+    fabric_gbs: Optional[float] = None,
     budget_bytes: Optional[float] = None,
     check_capacity: bool = True,
 ):
@@ -473,6 +475,14 @@ def predict_batched_resolved(
     scheduler otherwise (returning a
     :class:`~repro.sim.timeline.StreamSchedule`).
 
+    ``nodes >= 2`` shards the batch round-robin across all
+    ``nodes * ngpu`` device ranks instead, with per-source gather comm
+    nodes priced at the tier they cross, and runs the discrete-event
+    simulator (:func:`repro.sim.events.simulate_events`) so concurrent
+    inter-node gathers queue on the destination's fabric lane (returns
+    an :class:`~repro.sim.events.EventSchedule`); it does not compose
+    with ``out_of_core``.
+
     The plain single-device path (``ngpu=1, streams=1``, in-core) never
     materializes nodes at all: it binds the shape-parametric structure
     (:func:`bind_batched_table`) and prices the table.  Composed graphs
@@ -483,8 +493,37 @@ def predict_batched_resolved(
     storage = config.require_precision("batched prediction")
     if n < 1 or batch < 1:
         raise ShapeError(f"need positive n and batch, got n={n}, batch={batch}")
+    if nodes < 1:
+        raise InvalidParamsError(
+            f"nodes must be a positive node count, got {nodes}"
+        )
+    if out_of_core and nodes > 1:
+        raise InvalidParamsError(
+            f"out_of_core streaming and multi-node execution do not "
+            f"compose yet; got out_of_core=True with nodes={nodes} "
+            f"(drop one of the two axes)"
+        )
     if check_capacity and not out_of_core:
-        check_batched_capacity(n, batch, config, ngpu)
+        check_batched_capacity(n, batch, config, nodes * ngpu)
+
+    if nodes > 1:
+        from ..sim.events import simulate_events
+        from ..sim.partition import partition_graph
+
+        fabric = config.fabric_spec(link_gbs, fabric_gbs)
+
+        def _compose_cluster() -> LaunchGraph:
+            graph = emit_batched_graph(n, batch, config, streams=streams)
+            return partition_graph(graph, ngpu, nodes=nodes, fabric=fabric)
+
+        graph = bound_structure(
+            (
+                "bat_cluster_graph", config, n, batch,
+                min(streams, batch), nodes, ngpu, fabric,
+            ),
+            _compose_cluster,
+        )
+        return simulate_events(graph, config, storage, streams=streams)
 
     if ngpu == 1 and streams == 1 and not out_of_core:
         return price_table(

@@ -113,6 +113,7 @@ class Precision(enum.Enum):
         return self if self.bits >= other.bits else other
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Qualified member name (``Precision.FP32``)."""
         return f"Precision.{self.name}"
 
 

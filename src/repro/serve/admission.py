@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SolveConfig
-from ..errors import CapacityError, ShedError
+from ..errors import CapacityError, InvalidParamsError, ShedError
 from ..sim.graph import AnalyticExecutor, LaunchGraph
 from ..tuning.planner import ShapeClass
 from .batcher import Batch, SvdRequest
@@ -83,6 +83,7 @@ class AdmissionController:
         mem_budget_bytes: Optional[float] = None,
         tune: bool = False,
         tune_batch: int = 16,
+        nodes: int = 1,
     ) -> None:
         """Bind the oracle to a resolved config and a memory budget.
 
@@ -90,10 +91,20 @@ class AdmissionController:
         smaller values force earlier out-of-core spills (useful in tests
         and on shared devices).  ``tune=True`` enables the per-class
         ``streams`` consultation of :meth:`repro.Solver.tune`, priced at
-        ``tune_batch`` problems per class.
+        ``tune_batch`` problems per class.  ``nodes >= 2`` prices batches
+        against a cluster of that many nodes through the discrete-event
+        simulator: the in-core budget scales with the node count (each
+        node holds its round-robin sub-batch) but batches beyond it are
+        rejected rather than spilled, since out-of-core streaming does
+        not compose with multi-node execution.
         """
         from ..solver import Solver
 
+        if nodes < 1:
+            raise InvalidParamsError(
+                f"nodes must be a positive node count, got {nodes}"
+            )
+        self.nodes = int(nodes)
         self.config = config
         self.storage = config.require_precision("serve")
         self.solver = Solver.from_config(config)
@@ -137,8 +148,14 @@ class AdmissionController:
         return cls.npad * cls.npad * self.storage.sizeof * WORKING_FACTOR
 
     def capacity_for(self, cls: ShapeClass) -> int:
-        """How many problems of a class fit the in-core budget (may be 0)."""
-        return int(self.mem_budget_bytes // self.per_problem_bytes(cls))
+        """How many problems of a class fit the in-core budget (may be 0).
+
+        With ``nodes >= 2`` the budget is per node and the round-robin
+        shard spreads the batch, so capacity scales with the node count.
+        """
+        return int(
+            self.mem_budget_bytes // self.per_problem_bytes(cls)
+        ) * self.nodes
 
     def streams_for(self, cls: ShapeClass) -> int:
         """The tuned in-core ``streams`` axis of a shape class.
@@ -185,13 +202,22 @@ class AdmissionController:
         self.reprice_rounds += 1
         if count <= self.capacity_for(cls):
             streams = self.streams_for(cls)
+            kwargs = {"nodes": self.nodes} if self.nodes > 1 else {}
             result = self.solver.predict(
-                cls.npad, batch=count, streams=streams, check_capacity=False
+                cls.npad, batch=count, streams=streams,
+                check_capacity=False, **kwargs
             )
             priced = PricedBatch(
                 predicted_s=result.total_s, out_of_core=False, streams=streams
             )
         else:
+            if self.nodes > 1:
+                raise CapacityError(
+                    f"batch of {count} problems of class {cls} exceeds the "
+                    f"in-core budget across {self.nodes} nodes, and "
+                    f"out-of-core spilling does not compose with "
+                    f"multi-node execution"
+                )
             result = self.solver.predict(
                 cls.npad, batch=count, out_of_core=True,
                 oc_budget_gb=self.mem_budget_bytes / 2**30,

@@ -60,6 +60,7 @@ class SvdService:
         max_depth: int = 256,
         mem_budget_gb: Optional[float] = None,
         tune: bool = False,
+        nodes: int = 1,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """Validate the handle and pin the serving knobs.
@@ -67,9 +68,11 @@ class SvdService:
         ``max_batch`` / ``max_wait_s`` set the batcher's occupancy-vs-
         latency tradeoff, ``max_depth`` bounds in-flight requests
         (backpressure), ``mem_budget_gb`` caps the in-core footprint
-        before batches spill out-of-core (default: device memory), and
+        before batches spill out-of-core (default: device memory),
         ``tune=True`` lets admission consult :meth:`repro.Solver.tune`
-        per shape class for the streams axis.
+        per shape class for the streams axis, and ``nodes >= 2`` prices
+        admission against a cluster topology through the discrete-event
+        simulator (see :class:`~repro.serve.AdmissionController`).
         """
         config = solver.config
         if config.method != "qr":
@@ -94,6 +97,7 @@ class SvdService:
             ),
             tune=tune,
             tune_batch=max_batch,
+            nodes=nodes,
         )
         self._runner = BatchRunner(config)
         self._metrics = MetricsCollector()

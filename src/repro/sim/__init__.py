@@ -11,14 +11,23 @@ lookahead overlap with a greedy critical-path scheduler.  Graph
 rewriters extend the same IR across devices and memory tiers:
 :func:`partition_graph` shards a graph across devices with explicit comm
 nodes (square graphs tile-row-wise, batched graphs round-robin over
-problems), and :func:`rewrite_out_of_core` streams it through a bounded
-device window with explicit host-link transfer nodes (square graphs by
-tile panels, batched graphs by whole problems).
+problems; ``nodes=m`` with a :class:`FabricSpec` shards across a
+two-tier cluster and tags comm nodes with the tier they cross), and
+:func:`rewrite_out_of_core` streams it through a bounded device window
+with explicit host-link transfer nodes (square graphs by tile panels,
+batched graphs by whole problems).  Cluster graphs are priced by
+:func:`simulate_events` (:mod:`repro.sim.events`), a discrete-event
+simulation in which launches occupy stream/link/fabric resources with
+FIFO queueing — the greedy list scheduler is the fast approximation,
+the event simulator is the oracle, and on contention-free graphs the
+two agree exactly.
 """
 
 from .costmodel import (
     DEFAULT_COEFFS,
+    DEFAULT_INTER_LINK,
     CostCoefficients,
+    FabricSpec,
     LaunchCost,
     LinkSpec,
     bidiag_solve_cost,
@@ -27,6 +36,7 @@ from .costmodel import (
     panel_cost,
     update_cost,
 )
+from .events import EventSchedule, simulate_events
 from .graph import AnalyticExecutor, LaunchGraph, LaunchNode, NumericExecutor
 from .occupancy import OccupancyInfo, update_occupancy, warp_utilization
 from .outofcore import rewrite_out_of_core, window_capacity_tiles
@@ -60,6 +70,9 @@ __all__ = [
     "AnalyticExecutor",
     "CostCoefficients",
     "DEFAULT_COEFFS",
+    "DEFAULT_INTER_LINK",
+    "EventSchedule",
+    "FabricSpec",
     "KernelParams",
     "LaunchCost",
     "LaunchGraph",
@@ -92,6 +105,7 @@ __all__ = [
     "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",
+    "simulate_events",
     "stage1_launch_count",
     "window_capacity_tiles",
     "update_cost",

@@ -45,6 +45,8 @@ from .params import KernelParams
 __all__ = [
     "CostCoefficients",
     "DEFAULT_COEFFS",
+    "DEFAULT_INTER_LINK",
+    "FabricSpec",
     "LaunchCost",
     "LinkSpec",
     "comm_cost",
@@ -128,6 +130,7 @@ class LaunchCost:
     memory_seconds: float = 0.0
 
     def __add__(self, other: "LaunchCost") -> "LaunchCost":
+        """Component-wise sum of two launch costs."""
         return LaunchCost(
             self.seconds + other.seconds,
             self.flops + other.flops,
@@ -171,6 +174,33 @@ class LinkSpec:
 
     def with_(self, **kwargs) -> "LinkSpec":
         """Copy with selected link parameters replaced."""
+        return replace(self, **kwargs)
+
+
+#: Conservative inter-node fabric (InfiniBand NDR-class NIC, one rail):
+#: an order of magnitude below NVLink-class intra-node bandwidth and
+#: with microsecond-scale switch latency.  Used whenever a cluster
+#: topology is requested without an explicit :class:`FabricSpec`.
+DEFAULT_INTER_LINK = LinkSpec("ib-ndr", bandwidth_gbs=50.0, latency_us=5.0)
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Two-tier interconnect of a ``nodes x gpus`` cluster.
+
+    ``intra`` prices device-to-device traffic that stays inside one host
+    (NVLink / Infinity Fabric / Xe Link, the existing :class:`LinkSpec`
+    tier); ``inter`` prices traffic that crosses hosts (InfiniBand /
+    Slingshot / RoCE).  Cluster-partitioned graphs emit each comm node
+    with the :class:`LinkSpec` of the tier it crosses baked into the
+    node key, so pricing stays self-contained per node.
+    """
+
+    intra: LinkSpec
+    inter: LinkSpec
+
+    def with_(self, **kwargs) -> "FabricSpec":
+        """Copy with selected tiers replaced."""
         return replace(self, **kwargs)
 
 

@@ -69,6 +69,7 @@ from .tracing import Stage
 __all__ = [
     "AnalyticExecutor",
     "BATCHED_KINDS",
+    "COMM_INTER_KINDS",
     "COMM_KINDS",
     "LaunchGraph",
     "LaunchNode",
@@ -92,6 +93,15 @@ _NO_OVERHEAD_FAMILIES = ("solve", "solve_b", "comm")
 #: partitioned *batched* graph: devices solve disjoint problem subsets
 #: independently, so the gather of their results is the only movement.
 COMM_KINDS = ("panel_bcast", "boundary_x", "band_gather", "batch_gather")
+
+#: Inter-node variants of the comm kinds, emitted by cluster-partitioned
+#: graphs (``nodes > 1``) for the traffic that crosses hosts.  Each
+#: carries the *inter* tier's bandwidth/latency in its cost key and is
+#: scheduled on the owning node's fabric lane (the NIC) by the event
+#: simulator, where concurrent arrivals queue; intra-node comm keeps the
+#: per-device link lanes.  Numerically they are the same no-op movement.
+COMM_INTER_KINDS = tuple(k + "_inter" for k in COMM_KINDS)
+COMM_KINDS = COMM_KINDS + COMM_INTER_KINDS
 
 #: Kinds of the batched launch graph (see ``repro.core.emit_batched_graph``):
 #: each launch covers one *subset of problems* (``meta[0]``) with a single
@@ -189,6 +199,12 @@ class LaunchGraph:
     #: with ``ngpu > 1`` carry per-node ``device`` assignments and
     #: explicit :data:`COMM_KINDS` nodes.
     ngpu: int = 1
+    #: Host count of a cluster-partitioned graph (1 = one node).  For
+    #: ``nnodes > 1``, ``ngpu`` is the *total* device count over all
+    #: nodes (``nnodes * gpus_per_node``), device ranks are global
+    #: (``node_of(d) = d // gpus_per_node``), and comm nodes split into
+    #: intra-node kinds and :data:`COMM_INTER_KINDS`.
+    nnodes: int = 1
     #: True for graphs rewritten by
     #: :func:`repro.sim.outofcore.rewrite_out_of_core`: tile panels
     #: stream through a bounded device window via explicit
@@ -212,6 +228,7 @@ class LaunchGraph:
     )
 
     def __len__(self) -> int:
+        """Number of launch nodes in the graph."""
         return len(self.nodes)
 
     def table(self):

@@ -496,6 +496,12 @@ def rewrite_out_of_core(
         )
     if graph.out_of_core:
         raise ValueError("graph is already rewritten out-of-core")
+    if graph.nnodes > 1:
+        raise ValueError(
+            f"out-of-core streaming does not compose with multi-node "
+            f"graphs (nnodes={graph.nnodes}); rewrite before the cluster "
+            f"partition or drop one of the two axes"
+        )
     if budget_bytes is None:
         budget_bytes = config.backend.device.mem_bytes
     if budget_bytes <= 0:

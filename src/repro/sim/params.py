@@ -46,6 +46,7 @@ class KernelParams:
     splitk: int = 8
 
     def __post_init__(self) -> None:
+        """Validate the hyperparameter ranges at construction."""
         ts, cpb, sk = self.tilesize, self.colperblock, self.splitk
         if not (MIN_TILESIZE <= ts <= MAX_TILESIZE):
             raise InvalidParamsError(
@@ -88,6 +89,7 @@ class KernelParams:
         return (self.tilesize, self.colperblock, self.splitk)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        """Compact TS/CPB/SK triple (the paper's notation)."""
         return f"TS={self.tilesize},CPB={self.colperblock},SK={self.splitk}"
 
 

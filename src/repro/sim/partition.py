@@ -48,6 +48,16 @@ over round-robin problem subsets, chains carry no cross-device
 dependencies, and a single ``batch_gather`` comm node collecting the
 results to device 0 is the only communication.  Pricing is
 device-concurrent (each stage charges its maximum over devices).
+
+Cluster topologies (``nodes > 1``) extend the same partition across a
+two-tier :class:`~repro.sim.costmodel.FabricSpec`: device ranks are
+global over ``nodes x gpus`` (``node_of(d) = d // gpus_per_node``), every
+shared volume splits into the fraction held by same-node peers (priced
+on the intra tier) and the fraction held across hosts (priced on the
+inter tier, as a ``*_inter`` comm kind), and panel broadcasts become a
+two-stage tree - an inter-node hop tree over ``ceil(log2 nodes)`` stages
+followed by the node-local tree.  ``nodes=1`` reproduces the
+single-node partition byte for byte.
 """
 
 from __future__ import annotations
@@ -56,7 +66,7 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CapacityError, ShapeError
-from .costmodel import LinkSpec
+from .costmodel import FabricSpec, LinkSpec
 from .graph import (
     LaunchGraph,
     LaunchNode,
@@ -101,30 +111,36 @@ def shard_rows(lo: int, hi: int, ngpu: int) -> List[Tuple[int, int]]:
     return chunks
 
 
-def check_shard_capacity(n: int, config, ngpu: int) -> None:
+def check_shard_capacity(n: int, config, ngpu: int, nodes: int = 1) -> None:
     """Raise :class:`CapacityError` if a shard exceeds per-device memory.
 
     Each device of a tile-row partition holds its shard of the padded
-    matrix (``ceil(nbt / g)`` tile rows x ``npad`` columns) plus one
-    panel copy (``npad x ts``, the broadcast landing buffer), with the
-    same 1.25 working-set factor the single-device capacity model uses.
-    ``ngpu=1`` delegates to ``Backend.check_capacity`` exactly.
+    matrix (``ceil(nbt / g)`` tile rows x ``npad`` columns, ``g`` the
+    total device count ``nodes * ngpu``) plus one panel copy
+    (``npad x ts``, the broadcast landing buffer), with the same 1.25
+    working-set factor the single-device capacity model uses.
+    ``nodes=1, ngpu=1`` delegates to ``Backend.check_capacity`` exactly.
     """
     from ..core.tiling import ntiles
 
     storage = config.require_precision("multi-GPU prediction")
-    if ngpu == 1:
+    total = nodes * ngpu
+    if total == 1:
         config.backend.check_capacity(n, storage)
         return
     ts = config.params.tilesize
     nbt = ntiles(n, ts)
     npad = nbt * ts
-    shard_rows_n = math.ceil(nbt / ngpu) * ts
+    shard_rows_n = math.ceil(nbt / total) * ts
     shard_bytes = (shard_rows_n * npad + npad * ts) * storage.sizeof * 1.25
     spec = config.backend.device
     if shard_bytes > spec.mem_bytes:
+        topo = (
+            f"{nodes} nodes x {ngpu} devices" if nodes > 1
+            else f"{ngpu} devices"
+        )
         raise CapacityError(
-            f"{n}x{n} {storage.name} matrix sharded over {ngpu} devices "
+            f"{n}x{n} {storage.name} matrix sharded over {topo} "
             f"needs {shard_bytes / 2**30:.1f} GiB per device; "
             f"{config.backend.name} has {spec.mem_gb} GiB "
             f"(use more devices or a smaller matrix)"
@@ -132,21 +148,31 @@ def check_shard_capacity(n: int, config, ngpu: int) -> None:
 
 
 def partition_graph(
-    graph: LaunchGraph, ngpu: int, link: Optional[LinkSpec] = None
+    graph: LaunchGraph,
+    ngpu: int,
+    link: Optional[LinkSpec] = None,
+    *,
+    nodes: int = 1,
+    fabric: Optional[FabricSpec] = None,
 ) -> LaunchGraph:
-    """Shard a replayable square launch graph across ``ngpu`` devices.
+    """Shard a replayable square launch graph across ``nodes x ngpu`` devices.
 
-    Returns a new :class:`LaunchGraph` with ``ngpu`` set, per-node
-    ``device`` assignments, per-device row-chunked update launches and
-    explicit comm nodes priced against ``link``.  ``ngpu=1`` returns
-    ``graph`` itself, untouched (structural no-op).  Counted graphs
-    cannot be partitioned (their folded nodes carry no tile metadata);
-    multi-stream graphs can - the column chunks of the lookahead variant
-    compose with the row chunks of the device shards.
+    Returns a new :class:`LaunchGraph` with ``ngpu`` set to the *total*
+    device count, per-node ``device`` assignments, per-device row-chunked
+    update launches and explicit comm nodes priced against ``link``
+    (single node) or the two tiers of ``fabric`` (cluster).
+    ``nodes=1, ngpu=1`` returns ``graph`` itself, untouched (structural
+    no-op).  Counted graphs cannot be partitioned (their folded nodes
+    carry no tile metadata); multi-stream graphs can - the column chunks
+    of the lookahead variant compose with the row chunks of the device
+    shards.
     """
     if ngpu < 1:
         raise ShapeError(f"need at least one device, got {ngpu}")
-    if ngpu == 1:
+    if nodes < 1:
+        raise ShapeError(f"need at least one node, got {nodes}")
+    total = nodes * ngpu
+    if total == 1:
         return graph
     if graph.counted:
         raise ValueError(
@@ -159,10 +185,22 @@ def partition_graph(
             "first, then rewrite_out_of_core - this graph is already "
             "rewritten out-of-core"
         )
-    if link is None:
-        raise ValueError("partitioning across devices requires a LinkSpec")
+    if nodes > 1:
+        if fabric is None:
+            raise ValueError(
+                "partitioning across nodes requires a FabricSpec "
+                "(intra-node link + inter-node fabric)"
+            )
+        intra = fabric.intra
+        inter: Optional[LinkSpec] = fabric.inter
+    else:
+        if link is None:
+            raise ValueError("partitioning across devices requires a LinkSpec")
+        intra = link
+        inter = None
     if graph.kind == "batched":
-        return _partition_batched(graph, ngpu, link)
+        return _partition_batched(graph, ngpu, intra, nodes=nodes,
+                                  inter=inter)
     if graph.kind != "square":
         raise ValueError(
             f"only square and batched solve graphs can be partitioned, "
@@ -170,11 +208,15 @@ def partition_graph(
         )
 
     ts, nbt, npad = graph.ts, graph.nbt, graph.npad
-    bw, lat = link.bandwidth_gbs, link.latency_us
-    bcast_hops = max(1, math.ceil(math.log2(ngpu)))
-    remote = (ngpu - 1) / ngpu  # fraction of a shared volume held remotely
+    bw, lat = intra.bandwidth_gbs, intra.latency_us
+    gpn = ngpu  # devices per node; `total` devices overall
+    intra_hops = max(1, math.ceil(math.log2(gpn))) if gpn > 1 else 1
+    inter_hops = max(1, math.ceil(math.log2(nodes))) if nodes > 1 else 1
+    # fractions of a shared volume held by same-node peers vs other nodes
+    remote = (gpn - 1) / total
+    remote_x = (total - gpn) / total
 
-    nodes = graph.nodes
+    src_nodes = graph.nodes
     new_nodes: List[LaunchNode] = []
     #: old node index -> indices of its partitioned replacements
     mapped: List[Tuple[int, ...]] = []
@@ -204,20 +246,62 @@ def partition_graph(
             )
         )
 
-    for node in nodes:
+    def comm_inter(kind: str, elems: int, hops: int, deps,
+                   device: int) -> int:
+        return add(
+            LaunchNode(
+                kind + "_inter",
+                Stage.COMM,
+                ("comm", int(elems), hops,
+                 inter.bandwidth_gbs, inter.latency_us),
+                deps=tuple(deps),
+                device=device,
+            )
+        )
+
+    def exchange(kind: str, elems_of, hops: int, deps,
+                 device: int) -> Tuple[int, ...]:
+        """Tiered gather/exchange: intra share + inter share, as needed.
+
+        ``elems_of(fraction)`` prices the payload held by that fraction
+        of the peers - called once per tier so the single-node partition
+        keeps its exact element counts.
+        """
+        out: List[int] = []
+        if gpn > 1:
+            out.append(comm(kind, elems_of(remote), hops, deps, device))
+        if inter is not None:
+            out.append(comm_inter(kind, elems_of(remote_x), hops, deps,
+                                  device))
+        return tuple(out)
+
+    def bcast(elems: int, deps, device: int) -> int:
+        """Tiered broadcast tree: inter-node stage feeds the local trees."""
+        last = -1
+        if inter is not None:
+            last = comm_inter("panel_bcast", elems, inter_hops, deps, device)
+            deps = (last,)
+        if gpn > 1:
+            last = comm("panel_bcast", elems, intra_hops, deps, device)
+        return last
+
+    for node in src_nodes:
         kind = node.kind
         deps = mdeps(node)
         if kind == "geqrt":
             lq, row0, k, sweep = node.meta
-            owner = k % ngpu
+            owner = k % total
             if deps:
                 # shard boundary exchange: the new panel column was
                 # updated on every device; its owner gathers the remote
-                # tiles before factoring
+                # tiles before factoring, tier by tier
                 height = nbt - row0
-                elems = math.ceil(height * remote) * ts * ts
-                b = comm("boundary_x", elems, 1, deps, owner)
-                deps = (*deps, b)
+                bx = exchange(
+                    "boundary_x",
+                    lambda f: math.ceil(height * f) * ts * ts,
+                    1, deps, owner,
+                )
+                deps = (*deps, *bx)
             i = add(
                 LaunchNode(kind, node.stage, node.key, node.meta, deps,
                            device=owner)
@@ -227,41 +311,37 @@ def partition_graph(
                 # unfused sweeps pipeline per-row TSQRT outputs; model the
                 # panel shipment as one broadcast issued with the chain
                 elems = (r + 1) * (ts * ts + ts)
-                bcast_idx[sweep] = comm(
-                    "panel_bcast", elems, bcast_hops, (i,), owner
-                )
+                bcast_idx[sweep] = bcast(elems, (i,), owner)
         elif kind == "ftsqrt":
             lq, row0, k, rows, sweep = node.meta
-            owner = k % ngpu
+            owner = k % total
             i = add(
                 LaunchNode(kind, node.stage, node.key, node.meta, deps,
                            device=owner)
             )
             r = rows[1] - rows[0]
             elems = (r + 1) * (ts * ts + ts)
-            bcast_idx[sweep] = comm(
-                "panel_bcast", elems, bcast_hops, (i,), owner
-            )
+            bcast_idx[sweep] = bcast(elems, (i,), owner)
         elif kind == "tsqrt":
             lq, row0, k, l, sweep = node.meta
             i = add(
                 LaunchNode(kind, node.stage, node.key, node.meta, deps,
-                           device=k % ngpu)
+                           device=k % total)
             )
         elif kind == "unmqr":
             lq, row0, k, c0t, off, cw, sweep = node.meta
             i = add(
                 LaunchNode(kind, node.stage, node.key, node.meta, deps,
-                           device=k % ngpu)
+                           device=k % total)
             )
         elif kind == "tsmqr":
             lq, row0, k, l, c0t, off, cw, sweep = node.meta
-            owner = k % ngpu
-            chunks = shard_rows(row0 + 1, nbt, ngpu)
+            owner = k % total
+            chunks = shard_rows(row0 + 1, nbt, total)
             dev = owner
             for ci, (a, b) in enumerate(chunks):
                 if a <= l < b:
-                    dev = (owner + ci) % ngpu
+                    dev = (owner + ci) % total
                     break
             bc = bcast_idx.get(sweep)
             if dev != owner and bc is not None:
@@ -272,11 +352,11 @@ def partition_graph(
             )
         elif kind == "ftsmqr":
             lq, row0, k, rows, c0t, off, cw, sweep = node.meta
-            owner = k % ngpu
+            owner = k % total
             bc = bcast_idx.get(sweep)
             parts: List[int] = []
-            for ci, (a, b) in enumerate(shard_rows(rows[0], rows[1], ngpu)):
-                dev = (owner + ci) % ngpu
+            for ci, (a, b) in enumerate(shard_rows(rows[0], rows[1], total)):
+                dev = (owner + ci) % total
                 cdeps = deps
                 if dev != owner and bc is not None:
                     cdeps = (*deps, bc)
@@ -297,9 +377,12 @@ def partition_graph(
         elif kind == "brd_chase":
             if not band_gathered:
                 band_gathered = True
-                elems = math.ceil(npad * (ts + 1) * remote)
-                g = comm("band_gather", elems, 1, deps, 0)
-                deps = (*deps, g)
+                g = exchange(
+                    "band_gather",
+                    lambda f: math.ceil(npad * (ts + 1) * f),
+                    1, deps, 0,
+                )
+                deps = (*deps, *g)
             i = add(
                 LaunchNode(
                     kind, node.stage, node.key, node.meta, deps,
@@ -324,30 +407,44 @@ def partition_graph(
         streams=graph.streams,
         batch=graph.batch,
         mpad=graph.mpad,
-        ngpu=ngpu,
+        ngpu=total,
+        nnodes=nodes,
     )
 
 
 def _partition_batched(
-    graph: LaunchGraph, ngpu: int, link: LinkSpec
+    graph: LaunchGraph,
+    ngpu: int,
+    link: LinkSpec,
+    nodes: int = 1,
+    inter: Optional[LinkSpec] = None,
 ) -> LaunchGraph:
-    """Shard a batched launch graph round-robin across ``ngpu`` devices.
+    """Shard a batched launch graph round-robin across the devices.
 
     Problems are independent, so the partition is embarrassingly simple:
     every aggregate launch splits into per-device launches covering that
     device's round-robin problem subset (device ``d`` of a node covering
     ``range(start, stop, step)`` takes ``range(start + d*step, stop,
-    step*g)``), chains stay serial *within* a device and carry no
-    cross-device dependencies, and communication is a single
-    ``batch_gather`` comm node collecting the non-root devices' singular
-    values to device 0 - the only inter-device movement a batch needs.
-    Devices left without problems (``g > batch``) receive no nodes.
+    step*g)``, ``g`` the total device count), chains stay serial
+    *within* a device and carry no cross-device dependencies, and
+    communication is the gather of the non-root devices' singular values
+    to device 0 - the only inter-device movement a batch needs.  On one
+    node that is a single ``batch_gather``; on a cluster each source
+    device ships its results separately (``batch_gather`` from device
+    0's node-local peers, ``batch_gather_inter`` from every other node -
+    the concurrent arrivals that queue on node 0's fabric lane in the
+    event simulation).  Devices left without problems (``g > batch``)
+    receive no nodes.
     """
+    total = nodes * ngpu
+    gpn = ngpu
     bw, lat = link.bandwidth_gbs, link.latency_us
     new_nodes: List[LaunchNode] = []
     #: old node index -> device -> replacement index
     mapped: List[Dict[int, int]] = []
     solve_tails: List[int] = []
+    #: device -> (tail index, problem count) for the per-source gathers
+    tail_of: Dict[int, Tuple[int, int]] = {}
     remote_problems = 0
 
     for node in graph.nodes:
@@ -355,8 +452,8 @@ def _partition_batched(
         start, stop, step = probs[1], probs[2], probs[3]
         old_count = len(problem_range(probs))
         per: Dict[int, int] = {}
-        for d in range(ngpu):
-            dprobs = ("b", start + d * step, stop, step * ngpu)
+        for d in range(total):
+            dprobs = ("b", start + d * step, stop, step * total)
             bcount = len(problem_range(dprobs))
             if bcount == 0:
                 continue
@@ -377,20 +474,44 @@ def _partition_batched(
             per[d] = len(new_nodes) - 1
             if node.kind == "bdsqr_cpu_b":
                 solve_tails.append(per[d])
+                tail_of[d] = (per[d], bcount)
                 if d != 0:
                     remote_problems += bcount
         mapped.append(per)
 
-    # one gather of the non-root devices' results (n values per problem)
-    new_nodes.append(
-        LaunchNode(
-            "batch_gather",
-            Stage.COMM,
-            ("comm", remote_problems * graph.n, 1, bw, lat),
-            deps=tuple(solve_tails),
-            device=0,
+    if nodes == 1:
+        # one gather of the non-root devices' results (n values per problem)
+        new_nodes.append(
+            LaunchNode(
+                "batch_gather",
+                Stage.COMM,
+                ("comm", remote_problems * graph.n, 1, bw, lat),
+                deps=tuple(solve_tails),
+                device=0,
+            )
         )
-    )
+    else:
+        # per-source gathers, rooted at the destination (device 0): the
+        # receiving link / fabric lane serializes concurrent arrivals in
+        # the event simulation
+        for d in sorted(tail_of):
+            if d == 0:
+                continue
+            tail, bcount = tail_of[d]
+            if d // gpn == 0:
+                kind, cbw, clat = "batch_gather", bw, lat
+            else:
+                kind = "batch_gather_inter"
+                cbw, clat = inter.bandwidth_gbs, inter.latency_us
+            new_nodes.append(
+                LaunchNode(
+                    kind,
+                    Stage.COMM,
+                    ("comm", bcount * graph.n, 1, cbw, clat),
+                    deps=(tail,),
+                    device=0,
+                )
+            )
 
     return LaunchGraph(
         nodes=new_nodes,
@@ -403,7 +524,8 @@ def _partition_batched(
         streams=graph.streams,
         batch=graph.batch,
         mpad=graph.mpad,
-        ngpu=ngpu,
+        ngpu=total,
+        nnodes=nodes,
     )
 
 
@@ -429,6 +551,8 @@ def _price_batched_partitioned(
     # stage -> device -> accumulated seconds (incl. overheads)
     per_dev: Dict[str, Dict[int, float]] = {}
     comm_s = 0.0
+    comm_intra = 0.0
+    comm_inter = 0.0
     launches: Dict[str, int] = {}
     flops = 0.0
     nbytes = 0.0
@@ -440,6 +564,10 @@ def _price_batched_partitioned(
         launches[node.kind] = launches.get(node.kind, 0) + node.count
         if node.stage == Stage.COMM:
             comm_s += cost.seconds
+            if node.kind.endswith("_inter"):
+                comm_inter += cost.seconds
+            else:
+                comm_intra += cost.seconds
             continue
         stage_devs = per_dev.setdefault(node.stage, {})
         dev = node.device or 0
@@ -461,6 +589,9 @@ def _price_batched_partitioned(
         flops=flops,
         bytes=nbytes,
         ngpu=graph.ngpu,
+        nnodes=graph.nnodes,
+        comm_intra_s=comm_intra,
+        comm_inter_s=comm_inter,
     )
 
 
@@ -516,6 +647,8 @@ def price_partitioned_scalar(
     launches: Dict[str, int] = {}
     flops = 0.0
     nbytes = 0.0
+    comm_intra = 0.0
+    comm_inter = 0.0
     # sweep -> device -> accumulated update seconds (incl. overheads)
     sweep_update: Dict[int, Dict[int, float]] = {}
     sweep_order: List[int] = []
@@ -527,6 +660,11 @@ def price_partitioned_scalar(
         nbytes += cost.bytes
         launches[node.kind] = launches.get(node.kind, 0) + node.count
         stage = node.stage
+        if stage == Stage.COMM:
+            if node.kind.endswith("_inter"):
+                comm_inter += cost.seconds
+            else:
+                comm_intra += cost.seconds
         if stage == Stage.UPDATE and graph.ngpu > 1:
             sweep = node.meta[-1]
             per_dev = sweep_update.get(sweep)
@@ -558,4 +696,7 @@ def price_partitioned_scalar(
         flops=flops,
         bytes=nbytes,
         ngpu=graph.ngpu,
+        nnodes=graph.nnodes,
+        comm_intra_s=comm_intra,
+        comm_inter_s=comm_inter,
     )

@@ -47,6 +47,13 @@ class TimeBreakdown:
     ``io_s`` is the host<->device transfer time of out-of-core
     predictions (the ``h2d_tile`` / ``d2h_tile`` nodes a rewritten graph
     carries; see :mod:`repro.sim.outofcore`) — zero for in-core runs.
+
+    Cluster predictions (``nnodes > 1``) attribute further:
+    ``comm_intra_s`` / ``comm_inter_s`` split ``comm_s`` by the fabric
+    tier each comm node crossed, and ``queue_s`` is the
+    resource-contention component of an event-simulated makespan (time
+    the critical chain spent waiting for a busy stream / link / fabric
+    lane; see :mod:`repro.sim.events`) — zero for analytic pricings.
     """
 
     n: int
@@ -60,13 +67,17 @@ class TimeBreakdown:
     flops: float = 0.0
     bytes: float = 0.0
     ngpu: int = 1
+    nnodes: int = 1
+    comm_intra_s: float = 0.0
+    comm_inter_s: float = 0.0
+    queue_s: float = 0.0
 
     @property
     def total_s(self) -> float:
         """End-to-end simulated seconds."""
         return (
             self.panel_s + self.update_s + self.brd_s + self.solve_s
-            + self.comm_s + self.io_s
+            + self.comm_s + self.io_s + self.queue_s
         )
 
     @property
@@ -90,10 +101,16 @@ class TimeBreakdown:
             Stage.BRD: self.brd_s / t,
             Stage.SOLVE: self.solve_s / t,
         }
-        if self.comm_s > 0.0:
+        if self.comm_inter_s > 0.0:
+            # cluster runs: report the tier split instead of one comm row
+            out["comm_intra"] = self.comm_intra_s / t
+            out["comm_inter"] = self.comm_inter_s / t
+        elif self.comm_s > 0.0:
             out[Stage.COMM] = self.comm_s / t
         if self.io_s > 0.0:
             out[Stage.TRANSFER] = self.io_s / t
+        if self.queue_s > 0.0:
+            out["queue"] = self.queue_s / t
         return out
 
 

@@ -156,6 +156,7 @@ class NodeTable:
     sweep: np.ndarray
     fam: np.ndarray
     ops: np.ndarray
+    nnodes: int = 1
     _keys: Optional[List[Tuple]] = field(
         default=None, repr=False, compare=False
     )
@@ -165,6 +166,7 @@ class NodeTable:
     _agg_memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __len__(self) -> int:
+        """Number of launch rows in the table."""
         return int(self.kind_id.size)
 
     # ------------------------------------------------------------------ #
@@ -215,6 +217,7 @@ class NodeTable:
             ts=graph.ts,
             nbt=graph.nbt,
             ngpu=graph.ngpu,
+            nnodes=graph.nnodes,
             out_of_core=graph.out_of_core,
             kinds=tuple(kind_ids),
             kind_id=np.asarray(kind_col, dtype=np.int64),
@@ -649,7 +652,12 @@ def price_partitioned_table(table: NodeTable, config, storage, cache=None):
             fields = _partitioned_square_fields(table, sec, over, flo, byt)
         if cache is None:
             table._agg_memo[memo_key] = fields
-    (panel_s, update_s, brd_s, solve_s, comm_s, io_s), flops, nbytes = fields
+    (
+        (panel_s, update_s, brd_s, solve_s, comm_s, io_s),
+        (comm_intra, comm_inter),
+        flops,
+        nbytes,
+    ) = fields
     return TimeBreakdown(
         n=table.n,
         panel_s=panel_s,
@@ -662,6 +670,31 @@ def price_partitioned_table(table: NodeTable, config, storage, cache=None):
         flops=flops,
         bytes=nbytes,
         ngpu=table.ngpu,
+        nnodes=table.nnodes,
+        comm_intra_s=comm_intra,
+        comm_inter_s=comm_inter,
+    )
+
+
+def _comm_tier_split(table, sec):
+    """Intra/inter comm folds in node order (the scalar loop's buckets).
+
+    Comm nodes carry no launch overhead, so each tier folds ``sec``
+    alone - exactly the running float sum the scalar pricers keep.
+    """
+    comm_mask = table.stage_id == _COMM_ID
+    inter_ids = [
+        i for i, k in enumerate(table.kinds) if k.endswith("_inter")
+    ]
+    if inter_ids:
+        inter_mask = comm_mask & np.isin(
+            table.kind_id, np.asarray(inter_ids, dtype=np.int64)
+        )
+    else:
+        inter_mask = np.zeros_like(comm_mask)
+    return (
+        _seqsum(sec[comm_mask & ~inter_mask]),
+        _seqsum(sec[inter_mask]),
     )
 
 
@@ -698,7 +731,10 @@ def _partitioned_square_fields(table, sec, over, flo, byt):
                 np.concatenate(([totals[_UPDATE_ID]], sweep_max))
             )[-1]
         )
-    return (tuple(totals), _seqsum(flo), _seqsum(byt))
+    return (
+        tuple(totals), _comm_tier_split(table, sec),
+        _seqsum(flo), _seqsum(byt),
+    )
 
 
 def _partitioned_batched_fields(table, sec, over, flo, byt):
@@ -721,7 +757,10 @@ def _partitioned_batched_fields(table, sec, over, flo, byt):
         stage_max = np.maximum.reduceat(group_tot, stage_starts)
         for si, v in zip(code_stage[stage_starts].tolist(), stage_max):
             totals[si] = float(v)
-    return (tuple(totals), _seqsum(flo), _seqsum(byt))
+    return (
+        tuple(totals), _comm_tier_split(table, sec),
+        _seqsum(flo), _seqsum(byt),
+    )
 
 
 def stream_costs(table: NodeTable, config, storage, cache=None):

@@ -54,7 +54,8 @@ from .backends.backend import Backend, BackendLike
 from .config import SolveConfig
 from .errors import InvalidParamsError, ShapeError
 from .precision import Precision, PrecisionLike
-from .sim.costmodel import CostCoefficients, LinkSpec
+from .sim.costmodel import CostCoefficients, FabricSpec, LinkSpec
+from .sim.events import EventSchedule, simulate_events
 from .sim.graph import AnalyticExecutor
 from .sim.params import KernelParams
 from .sim.schedule import TimeBreakdown, predict_resolved
@@ -97,6 +98,7 @@ class Solver:
         jacobi_tol: Optional[float] = None,
         jacobi_max_sweeps: int = 60,
         link: Optional[LinkSpec] = None,
+        fabric: Optional[FabricSpec] = None,
     ) -> None:
         self._config = SolveConfig.resolve(
             backend=backend,
@@ -111,6 +113,7 @@ class Solver:
             jacobi_tol=jacobi_tol,
             jacobi_max_sweeps=jacobi_max_sweeps,
             link=link,
+            fabric=fabric,
         )
 
     # ------------------------------------------------------------------ #
@@ -155,6 +158,7 @@ class Solver:
         return self._config.params
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Readable summary of the resolved configuration axes."""
         cfg = self._config
         prec = cfg.precision.name_lower if cfg.precision else "auto"
         return (
@@ -263,12 +267,14 @@ class Solver:
         n: int,
         batch: Optional[int] = None,
         ngpu: int = 1,
+        nodes: int = 1,
         out_of_core: bool = False,
         check_capacity: bool = True,
         link_gbs: Optional[float] = None,
+        fabric_gbs: Optional[float] = None,
         streams: int = 1,
         oc_budget_gb: Optional[float] = None,
-    ) -> Union[TimeBreakdown, StreamSchedule]:
+    ) -> Union[TimeBreakdown, StreamSchedule, EventSchedule]:
         """Predict the simulated runtime of an ``n x n`` solve.
 
         One front door for every analytic model:
@@ -287,6 +293,18 @@ class Solver:
           the backend's link - NVLink on H100/A100, Infinity Fabric on
           MI250, ...; the handle's ``link=`` axis overrides the backend
           default);
+        * ``nodes=m`` (m >= 2): cluster execution over an ``m x g``
+          two-tier topology - the graph is sharded across all
+          ``m * g`` device ranks, comm nodes are priced at the tier
+          they cross (node-local link vs inter-node fabric, hierarchical
+          panel broadcast spanning both), and the result comes from the
+          discrete-event simulator
+          (:func:`repro.sim.events.simulate_events`), which queues
+          launches on per-device streams and per-tier link lanes and so
+          reports queueing/contention the greedy scheduler cannot see
+          (returns an :class:`~repro.sim.events.EventSchedule`).
+          ``fabric_gbs`` overrides the inter-node fabric bandwidth (the
+          handle's ``fabric=`` axis overrides the default fabric);
         * ``out_of_core=True``: host-resident execution beyond device
           memory - the emitted graph is rewritten by
           :func:`repro.sim.outofcore.rewrite_out_of_core` to stream
@@ -338,9 +356,24 @@ class Solver:
             raise InvalidParamsError(
                 f"ngpu must be a positive device count, got {ngpu}"
             )
+        if nodes < 1:
+            raise InvalidParamsError(
+                f"nodes must be a positive node count, got {nodes}"
+            )
         if streams < 1:
             raise InvalidParamsError(
                 f"streams must be a positive stream count, got {streams}"
+            )
+        if fabric_gbs is not None and nodes == 1:
+            raise InvalidParamsError(
+                "fabric_gbs sets the inter-node fabric bandwidth and "
+                "requires nodes >= 2"
+            )
+        if out_of_core and nodes > 1:
+            raise InvalidParamsError(
+                f"out_of_core streaming and multi-node execution do not "
+                f"compose yet; got out_of_core=True with nodes={nodes} "
+                f"(drop one of the two axes)"
             )
         if oc_budget_gb is not None:
             if not out_of_core:
@@ -362,14 +395,37 @@ class Solver:
                 batch,
                 self._config,
                 ngpu=ngpu,
+                nodes=nodes,
                 streams=streams,
                 out_of_core=out_of_core,
                 link_gbs=link_gbs,
+                fabric_gbs=fabric_gbs,
                 budget_bytes=(
                     oc_budget_gb * 2**30 if oc_budget_gb is not None else None
                 ),
                 check_capacity=check_capacity,
             )
+        if nodes > 1:
+            # emit -> partition across the two-tier fabric -> simulate:
+            # only the discrete-event engine can price the queueing and
+            # fabric contention a cluster graph exhibits, so the cluster
+            # path always returns an EventSchedule
+            if check_capacity:
+                check_shard_capacity(n, self._config, ngpu, nodes=nodes)
+            config = self._config
+            fabric = config.fabric_spec(link_gbs, fabric_gbs)
+
+            def _compose_cluster():
+                graph = emit_svd_graph(n, config, streams=streams)
+                return partition_graph(
+                    graph, ngpu, nodes=nodes, fabric=fabric
+                )
+
+            graph = bound_structure(
+                ("sq_cluster_graph", config, n, nodes, ngpu, streams, fabric),
+                _compose_cluster,
+            )
+            return simulate_events(graph, config, storage, streams=streams)
         if out_of_core:
             return predict_out_of_core_resolved(
                 n,
@@ -420,6 +476,7 @@ class Solver:
         batch: Optional[int] = None,
         objective: str = "time",
         budget: int = 96,
+        nodes: Optional[Tuple[int, ...]] = None,
     ) -> "TunePlan":
         """Search every execution axis analytically for the fastest config.
 
@@ -439,6 +496,10 @@ class Solver:
         ``plan.best.predict_kwargs()`` are the matching
         :meth:`predict` arguments.  ``objective`` is ``"time"`` (default)
         or ``"throughput"`` (problems per second; requires ``batch=``).
+        ``nodes`` opts the search into the cluster axis: pass the node
+        counts to consider (e.g. ``nodes=(1, 2, 4)``) and multi-node
+        candidates are priced through the discrete-event simulator; the
+        default searches single-node topologies only.
         """
         if self._config.method != "qr":
             raise InvalidParamsError(
@@ -449,7 +510,12 @@ class Solver:
         from .tuning.planner import tune_resolved
 
         return tune_resolved(
-            n, self._config, batch=batch, objective=objective, budget=budget
+            n,
+            self._config,
+            batch=batch,
+            objective=objective,
+            budget=budget,
+            nodes=nodes,
         )
 
     # ------------------------------------------------------------------ #
@@ -675,6 +741,7 @@ class SvdPlan:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Readable summary of the plan's shape and backing config."""
         return (
             f"SvdPlan({self.kind}, shape={self.shape}, "
             f"backend={self.config.backend.name!r}, "

@@ -60,6 +60,12 @@ OBJECTIVES = ("time", "throughput")
 #: Default device counts explored by the coarse stage.
 DEFAULT_NGPUS = (1, 2, 4, 8)
 
+#: Default node counts explored by the coarse stage.  Single-node only:
+#: the cluster axis routes candidates through the discrete-event
+#: simulator (much slower than table pricing), so multi-node search is
+#: opt-in via ``Solver.tune(n, nodes=(1, 2, ...))``.
+DEFAULT_NODES = (1,)
+
 #: Default stream counts explored by the coarse stage.
 DEFAULT_STREAMS = (1, 2, 4)
 
@@ -116,6 +122,7 @@ class TuneCandidate:
     params: KernelParams
     streams: int = 1
     ngpu: int = 1
+    nodes: int = 1
     out_of_core: bool = False
     oc_budget_gb: Optional[float] = None
     predicted_s: float = 0.0
@@ -125,6 +132,8 @@ class TuneCandidate:
         kwargs: Dict[str, object] = {
             "streams": self.streams, "ngpu": self.ngpu,
         }
+        if self.nodes > 1:
+            kwargs["nodes"] = self.nodes
         if self.out_of_core:
             kwargs["out_of_core"] = True
             if self.oc_budget_gb is not None:
@@ -253,6 +262,7 @@ def tune_resolved(
     budget: int = 96,
     ngpus: Sequence[int] = DEFAULT_NGPUS,
     streams: Sequence[int] = DEFAULT_STREAMS,
+    nodes: Optional[Sequence[int]] = None,
 ) -> TunePlan:
     """Staged analytic search against a resolved :class:`SolveConfig`.
 
@@ -263,7 +273,11 @@ def tune_resolved(
     per (resolved config, shape, axes) - the frozen
     :class:`~repro.SolveConfig` hashes by value, so any axis that
     changes predictions (coefficients, link, stage3, ...) splits the
-    cache entry; :func:`clear_tune_cache` drops the memo.  Raises
+    cache entry; :func:`clear_tune_cache` drops the memo.  ``nodes``
+    opts the search into the cluster axis (default
+    :data:`DEFAULT_NODES`, i.e. single-node only): multi-node
+    candidates are priced through the discrete-event simulator and
+    never fall back to out-of-core streaming.  Raises
     :class:`~repro.errors.CapacityError` when the problem cannot run on
     the backend even out-of-core.
     """
@@ -289,6 +303,12 @@ def tune_resolved(
         )
     ngpus = tuple(ngpus)
     streams = tuple(streams)
+    nodes = DEFAULT_NODES if nodes is None else tuple(nodes)
+    if not nodes or any(nd < 1 for nd in nodes):
+        raise InvalidParamsError(
+            f"nodes must be a non-empty sequence of positive node "
+            f"counts, got {nodes}"
+        )
     # the frozen SolveConfig hashes by value, so *every* axis that can
     # change a prediction (coeffs, link, stage3, fused, params, ...)
     # participates in the memo key - two solvers share a cached plan
@@ -298,7 +318,7 @@ def tune_resolved(
     # launch graph, so heterogeneous traffic reuses one plan per class
     global _TUNE_CACHE_HITS, _TUNE_CACHE_MISSES
     cls = shape_class(n, config)
-    cache_key = (config, cls, batch, objective, budget, ngpus, streams)
+    cache_key = (config, cls, batch, objective, budget, ngpus, streams, nodes)
     hit = _TUNE_CACHE.get(cache_key)
     if hit is not None:
         _TUNE_CACHE_HITS += 1
@@ -309,17 +329,19 @@ def tune_resolved(
     evaluated: Dict[Tuple, TuneCandidate] = {}
 
     def evaluate(
-        params: KernelParams, s: int, g: int,
+        params: KernelParams, s: int, g: int, nd: int = 1,
         oc_fraction: Optional[float] = None,
     ) -> Optional[TuneCandidate]:
         """Price one candidate; in-core first, out-of-core fallback."""
-        key = (params, s, g, oc_fraction)
+        key = (params, s, g, nd, oc_fraction)
         if key in evaluated:
             return evaluated[key]
         if len(evaluated) >= budget:
             return None
         solver = Solver.from_config(config.with_(params=params))
         kwargs: Dict[str, object] = {"streams": s, "ngpu": g}
+        if nd > 1:
+            kwargs["nodes"] = nd
         if batch is not None:
             kwargs["batch"] = batch
         oc_budget_gb = None if oc_fraction is None else mem_gb * oc_fraction
@@ -327,12 +349,16 @@ def tune_resolved(
             if oc_fraction is None:
                 result = solver.predict(n, **kwargs)
                 cand = TuneCandidate(
-                    params=params, streams=s, ngpu=g,
+                    params=params, streams=s, ngpu=g, nodes=nd,
                     predicted_s=result.total_s,
                 )
             else:
                 raise CapacityError("explicit out-of-core candidate")
         except CapacityError:
+            if nd > 1:
+                # multi-node candidates do not compose with out-of-core
+                # streaming; a shard that overflows is simply not runnable
+                return None
             try:
                 result = solver.predict(
                     n, out_of_core=True, oc_budget_gb=oc_budget_gb, **kwargs
@@ -360,18 +386,20 @@ def tune_resolved(
     # quarter of the budget is reserved for the refinement stage, so a
     # coarse grid larger than the budget cannot starve it.
     coarse_cap = max(1, budget - budget // 4)
-    exec_axes = [(s, g) for g in ngpus for s in streams]
+    exec_axes = [
+        (s, g, nd) for nd in nodes for g in ngpus for s in streams
+    ]
     for params in _coarse_params(config.params):
-        for s, g in exec_axes:
+        for s, g, nd in exec_axes:
             if len(evaluated) >= coarse_cap:
                 break
-            cand = evaluate(params, s, g)
+            cand = evaluate(params, s, g, nd)
             if cand is not None and cand.out_of_core:
                 # the window budget becomes a search axis only when the
                 # candidate actually streams
                 for frac in OC_BUDGET_FRACTIONS:
                     if frac is not None:
-                        evaluate(params, s, g, oc_fraction=frac)
+                        evaluate(params, s, g, nd, oc_fraction=frac)
         if len(evaluated) >= coarse_cap:
             break
 
@@ -381,7 +409,7 @@ def tune_resolved(
     for leader in leaders:
         for params in _neighbor_params(leader.params):
             evaluate(
-                params, leader.streams, leader.ngpu,
+                params, leader.streams, leader.ngpu, leader.nodes,
                 oc_fraction=(
                     None if leader.oc_budget_gb is None
                     else leader.oc_budget_gb / mem_gb

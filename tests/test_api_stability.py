@@ -85,6 +85,9 @@ SIM_ALL = [
     "AnalyticExecutor",
     "CostCoefficients",
     "DEFAULT_COEFFS",
+    "DEFAULT_INTER_LINK",
+    "EventSchedule",
+    "FabricSpec",
     "KernelParams",
     "LaunchCost",
     "LaunchGraph",
@@ -120,6 +123,7 @@ SIM_ALL = [
     "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",
+    "simulate_events",
     "stage1_launch_count",
     "timeline_rows",
     "update_cost",
