@@ -1,0 +1,173 @@
+"""Heterogeneous fleets: cost-weighted shards, placement, utilization.
+
+The Topology PR shards a mixed fleet's trailing updates by *predicted
+throughput* (each rank's rows proportional to its cost-model
+``update_rate``) instead of uniformly, and lets ``Solver.tune`` search
+device placement analytically.  This bench records what that buys on an
+H100 + A100 fleet, everything priced by the discrete-event engine:
+
+1. weighted vs uniform sharding makespan over sizes - weighted must be
+   strictly faster, since uniform shards make every sweep wait for the
+   A100;
+2. the placement search win over naively using every device: the tuned
+   plan is never slower than the full-fleet default, and reports which
+   sub-fleet won;
+3. the per-device utilization spread of the weighted run - the
+   straggler diagnostic one ``format_breakdown`` call now shows.
+
+Run standalone with ``--quick`` for the CI smoke slice::
+
+    PYTHONPATH=src python benchmarks/bench_hetero_fleet.py --quick
+"""
+
+import argparse
+
+import repro
+from repro import Topology
+from repro.core import emit_svd_graph
+from repro.report import format_seconds, format_table
+from repro.sim import partition_graph, simulate_events
+from repro.sim.partition import fleet_scale
+
+FLEET = Topology(devices=("h100", "h100", "h100", "a100"))
+SIZES = (2048, 8192)
+QUICK_SIZES = (2048,)
+
+
+def fleet_makespans(solver: "repro.Solver", n: int) -> tuple:
+    """Event-priced makespans of weighted vs uniform sharding at ``n``."""
+    config = solver.config
+    scale = fleet_scale(FLEET, config)
+    labels = tuple(
+        f"dev{i}:{d}" for i, d in enumerate(FLEET.devices)
+    )
+    weighted = simulate_events(
+        partition_graph(
+            emit_svd_graph(n, config), topology=FLEET, config=config
+        ),
+        config, device_scale=scale, device_labels=labels,
+    )
+    uniform = simulate_events(
+        partition_graph(
+            emit_svd_graph(n, config), topology=FLEET, config=config,
+            weights=(1.0,) * FLEET.ngpu,
+        ),
+        config, device_scale=scale, device_labels=labels,
+    )
+    assert weighted.makespan_s < uniform.makespan_s, (
+        f"n={n}: cost-weighted shards must beat uniform shards"
+    )
+    return weighted, uniform
+
+
+def util_spread(ev) -> float:
+    """Max minus min per-device busy share of the makespan."""
+    util = ev.breakdown().device_utilization()
+    return max(util.values()) - min(util.values())
+
+
+def sharding_rows(solver: "repro.Solver", sizes) -> list:
+    """Weighted-vs-uniform table block, one row pair per size."""
+    rows = []
+    for n in sizes:
+        weighted, uniform = fleet_makespans(solver, n)
+        for name, ev in (("weighted", weighted), ("uniform", uniform)):
+            rows.append(
+                [
+                    str(n),
+                    name,
+                    format_seconds(ev.makespan_s).strip(),
+                    f"{uniform.makespan_s / ev.makespan_s:.2f}x",
+                    f"{util_spread(ev):5.1%}",
+                ]
+            )
+    return rows
+
+
+def placement_rows(solver: "repro.Solver", n: int) -> list:
+    """Placement search vs naively running on every device."""
+    naive = solver.predict(n, topology=FLEET)
+    plan = solver.tune(n, budget=20, topology=FLEET)
+    assert plan.best.predicted_s <= naive.total_s * (1 + 1e-12), (
+        "the placement search may never lose to the naive full fleet"
+    )
+    assert plan.speedup >= 1.0, "pinned never slower than the default"
+    best = plan.best
+    placement = (
+        repr(best.topology) if best.topology is not None
+        else f"ngpu={best.ngpu} (homogeneous default axis)"
+    )
+    return [
+        [str(n), "naive full fleet", repr(FLEET),
+         format_seconds(naive.total_s).strip()],
+        [str(n), f"tuned (streams={best.streams})", placement,
+         format_seconds(best.predicted_s).strip()],
+    ]
+
+
+def utilization_rows(solver: "repro.Solver", n: int) -> list:
+    """Per-device busy share of the weighted run at ``n``."""
+    weighted, _ = fleet_makespans(solver, n)
+    util = weighted.breakdown().device_utilization()
+    return [
+        [label, f"{share:6.1%}"] for label, share in util.items()
+    ]
+
+
+def run(quick: bool = False) -> str:
+    solver = repro.Solver(backend="h100", precision="fp32")
+    sizes = QUICK_SIZES if quick else SIZES
+    text = format_table(
+        ["n", "sharding", "makespan", "vs uniform", "util spread"],
+        sharding_rows(solver, sizes),
+        title="cost-weighted vs uniform sharding on "
+        f"{FLEET!r} (event-simulated)",
+    )
+    text += "\n\n" + format_table(
+        ["n", "strategy", "placement", "predicted"],
+        placement_rows(solver, sizes[0]),
+        title="placement search vs naive all-devices",
+    )
+    text += "\n\n" + format_table(
+        ["device", "busy share"],
+        utilization_rows(solver, sizes[-1]),
+        title=f"per-device utilization, weighted shards at n={sizes[-1]}",
+    )
+    return text
+
+
+def metrics() -> dict:
+    """Deterministic predicted-time metrics for the CI regression gate."""
+    from conftest import get_solver
+
+    solver = get_solver()
+    weighted, uniform = fleet_makespans(solver, 8192)
+    plan = solver.tune(2048, budget=20, topology=FLEET)
+    return {
+        "hetero/weighted_makespan_s@8192": weighted.makespan_s,
+        "hetero/uniform_makespan_s@8192": uniform.makespan_s,
+        "hetero/weighted_uniform_ratio@8192": (
+            weighted.makespan_s / uniform.makespan_s
+        ),
+        "hetero/util_spread@8192": util_spread(weighted),
+        "hetero/placement_tuned_s@2048": plan.best.predicted_s,
+    }
+
+
+def test_hetero_fleet(benchmark, solver):
+    from conftest import save_result
+
+    text = run(quick=False)
+    save_result("hetero_fleet", text)
+    benchmark(lambda: solver.predict(8192, topology=FLEET))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke slice: one small size, no results file",
+    )
+    args = parser.parse_args()
+    print(run(quick=args.quick))

@@ -36,6 +36,7 @@ from pathlib import Path
 BENCH_MODULES = (
     "bench_cluster_scaling",
     "bench_graph_replay",
+    "bench_hetero_fleet",
     "bench_multi_gpu_scaling",
     "bench_out_of_core",
     "bench_serving",

@@ -95,6 +95,7 @@ from .precision import Precision, resolve_precision
 from .sim import (
     REFERENCE_PARAMS,
     KernelParams,
+    Topology,
     predict,
     predict_multi_gpu,
     predict_out_of_core,
@@ -102,7 +103,7 @@ from .sim import (
 from .solver import Solver, SvdPlan
 from .serve import ServiceStats, SvdService
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     # unified handle surface (the recommended API)
@@ -119,6 +120,7 @@ __all__ = [
     "KernelParams",
     "Precision",
     "REFERENCE_PARAMS",
+    "Topology",
     "list_backends",
     "resolve_backend",
     "resolve_precision",

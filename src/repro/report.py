@@ -60,6 +60,10 @@ def format_breakdown(bd, title: Optional[str] = None) -> str:
     stage (including the ``comm`` component of partitioned runs) gets a
     row with its simulated time and share of the total, followed by a
     total row.  Single-device breakdowns simply have no comm row.
+    Fleet breakdowns (event-simulated, per-device occupancy attached)
+    append one utilization row per device rank — the busy share of the
+    makespan, where a straggler device is the one pinned near 100%
+    while its peers idle.
     """
     rows = []
     fractions = bd.stage_fractions()
@@ -69,6 +73,14 @@ def format_breakdown(bd, title: Optional[str] = None) -> str:
             [stage, format_seconds(seconds).strip(), f"{share:6.1%}"]
         )
     rows.append(["total", format_seconds(bd.total_s).strip(), "100.0%"])
+    util_of = getattr(bd, "device_utilization", None)
+    if util_of is not None:
+        for label, util in util_of().items():
+            busy = util * bd.total_s
+            rows.append(
+                [f"util {label}", format_seconds(busy).strip(),
+                 f"{util:6.1%}"]
+            )
     if title is None:
         gpus = getattr(bd, "ngpu", 1)
         title = f"n={bd.n} stage breakdown" + (

@@ -84,6 +84,7 @@ class AdmissionController:
         tune: bool = False,
         tune_batch: int = 16,
         nodes: int = 1,
+        topology=None,
     ) -> None:
         """Bind the oracle to a resolved config and a memory budget.
 
@@ -96,14 +97,27 @@ class AdmissionController:
         simulator: the in-core budget scales with the node count (each
         node holds its round-robin sub-batch) but batches beyond it are
         rejected rather than spilled, since out-of-core streaming does
-        not compose with multi-node execution.
+        not compose with multi-node execution.  ``topology=`` is the
+        fleet spelling of the same axis (a :class:`repro.Topology`):
+        batches are priced through ``Solver.predict(topology=...)``, the
+        in-core budget scales with the fleet's total rank count, and -
+        exactly like ``nodes >= 2`` - over-budget batches are rejected
+        rather than spilled.  Passing both ``topology=`` and ``nodes=``
+        raises the conflicting-axes validation error.
         """
+        from ..sim.topology import require_no_conflicts
         from ..solver import Solver
 
         if nodes < 1:
             raise InvalidParamsError(
                 f"nodes must be a positive node count, got {nodes}"
             )
+        if topology is not None:
+            require_no_conflicts(
+                topology, nodes=nodes if nodes != 1 else None
+            )
+            nodes = topology.nodes
+        self.topology = topology
         self.nodes = int(nodes)
         self.config = config
         self.storage = config.require_precision("serve")
@@ -151,11 +165,14 @@ class AdmissionController:
         """How many problems of a class fit the in-core budget (may be 0).
 
         With ``nodes >= 2`` the budget is per node and the round-robin
-        shard spreads the batch, so capacity scales with the node count.
+        shard spreads the batch, so capacity scales with the node count;
+        with a ``topology=`` fleet every rank holds its weighted shard,
+        so capacity scales with the fleet's total device count.
         """
+        ranks = self.topology.ngpu if self.topology is not None else self.nodes
         return int(
             self.mem_budget_bytes // self.per_problem_bytes(cls)
-        ) * self.nodes
+        ) * ranks
 
     def streams_for(self, cls: ShapeClass) -> int:
         """The tuned in-core ``streams`` axis of a shape class.
@@ -202,7 +219,12 @@ class AdmissionController:
         self.reprice_rounds += 1
         if count <= self.capacity_for(cls):
             streams = self.streams_for(cls)
-            kwargs = {"nodes": self.nodes} if self.nodes > 1 else {}
+            if self.topology is not None:
+                kwargs = {"topology": self.topology}
+            elif self.nodes > 1:
+                kwargs = {"nodes": self.nodes}
+            else:
+                kwargs = {}
             result = self.solver.predict(
                 cls.npad, batch=count, streams=streams,
                 check_capacity=False, **kwargs
@@ -211,6 +233,13 @@ class AdmissionController:
                 predicted_s=result.total_s, out_of_core=False, streams=streams
             )
         else:
+            if self.topology is not None:
+                raise CapacityError(
+                    f"batch of {count} problems of class {cls} exceeds the "
+                    f"in-core budget across the {self.topology.ngpu} ranks "
+                    f"of {self.topology!r}, and out-of-core spilling does "
+                    f"not compose with fleet execution"
+                )
             if self.nodes > 1:
                 raise CapacityError(
                     f"batch of {count} problems of class {cls} exceeds the "

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import time
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -61,6 +61,7 @@ class SvdService:
         mem_budget_gb: Optional[float] = None,
         tune: bool = False,
         nodes: int = 1,
+        topology=None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """Validate the handle and pin the serving knobs.
@@ -73,6 +74,10 @@ class SvdService:
         per shape class for the streams axis, and ``nodes >= 2`` prices
         admission against a cluster topology through the discrete-event
         simulator (see :class:`~repro.serve.AdmissionController`).
+        ``topology=`` is the fleet spelling of the same axis (a
+        :class:`repro.Topology`, possibly heterogeneous); it conflicts
+        with ``nodes=`` and routes admission pricing through
+        ``Solver.predict(topology=...)``.
         """
         config = solver.config
         if config.method != "qr":
@@ -98,6 +103,7 @@ class SvdService:
             tune=tune,
             tune_batch=max_batch,
             nodes=nodes,
+            topology=topology,
         )
         self._runner = BatchRunner(config)
         self._metrics = MetricsCollector()

@@ -43,9 +43,11 @@ from .outofcore import rewrite_out_of_core, window_capacity_tiles
 from .params import REFERENCE_PARAMS, KernelParams, param_grid
 from .partition import (
     check_shard_capacity,
+    fleet_weights,
     partition_graph,
     price_partitioned,
     shard_rows,
+    shard_rows_weighted,
 )
 from .scaling import predict_multi_gpu, predict_out_of_core
 from .schedule import TimeBreakdown, predict, stage1_launch_count
@@ -56,6 +58,7 @@ from .table import (
     clear_bound_tables,
     price_table,
 )
+from .topology import Topology
 from .timeline import (
     StreamSchedule,
     dump_json,
@@ -87,6 +90,7 @@ __all__ = [
     "Stage",
     "StreamSchedule",
     "TimeBreakdown",
+    "Topology",
     "Tracer",
     "bidiag_solve_cost",
     "bound_table_stats",
@@ -94,6 +98,7 @@ __all__ = [
     "check_shard_capacity",
     "clear_bound_tables",
     "comm_cost",
+    "fleet_weights",
     "panel_cost",
     "param_grid",
     "partition_graph",
@@ -105,6 +110,7 @@ __all__ = [
     "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",
+    "shard_rows_weighted",
     "simulate_events",
     "stage1_launch_count",
     "window_capacity_tiles",

@@ -52,6 +52,7 @@ __all__ = [
     "comm_cost",
     "panel_cost",
     "update_cost",
+    "update_rate",
     "brd_cost",
     "bidiag_solve_cost",
     "transfer_cost",
@@ -368,6 +369,35 @@ def update_cost(
         compute_seconds=compute_s,
         memory_seconds=memory_s,
     )
+
+
+def update_rate(
+    spec: DeviceSpec,
+    params: KernelParams,
+    storage: Precision,
+    compute: Precision,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> float:
+    """Trailing-update throughput of one device, in tile rows per second.
+
+    The scalar weight heterogeneous partitioning shards by
+    (:func:`repro.sim.partition.shard_rows_weighted`): the reciprocal of
+    one tile row's :func:`update_cost` at the configured hyperparameters.
+    Each sweep's update work is proportional to its tile-row count, so a
+    device's fair share of rows is proportional to this rate - the same
+    NodeTable pricing arithmetic the analytic executors charge, evaluated
+    per device spec instead of once for the backend.
+    """
+    cost = update_cost(
+        spec, params, storage, compute,
+        width_cols=params.tilesize, nrows=1, has_top_row=True,
+        coeffs=coeffs,
+    )
+    if cost.seconds <= 0.0:
+        raise ValueError(
+            f"update_cost priced a non-positive duration for {spec.name}"
+        )
+    return 1.0 / cost.seconds
 
 
 # --------------------------------------------------------------------- #

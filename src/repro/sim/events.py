@@ -101,6 +101,7 @@ class EventSchedule:
     resource_busy_s: Dict[Tuple[str, int], float] = field(
         default_factory=dict
     )
+    device_labels: Tuple[str, ...] = ()
 
     @property
     def total_s(self) -> float:
@@ -141,6 +142,26 @@ class EventSchedule:
         """Total kernel launches."""
         return sum(self.launches.values())
 
+    def device_busy(self) -> Tuple[Tuple[str, float], ...]:
+        """Per-device compute-lane occupancy, as ``(label, seconds)``.
+
+        One entry per device rank in rank order; the seconds are the
+        total time that rank's stream pool held a running launch
+        (``resource_busy_s[("dev", d)]``).  Labels are
+        ``"dev<rank>:<device>"`` when the simulation was handed a fleet's
+        device names, plain ``"dev<rank>"`` otherwise.  Divide by
+        ``makespan_s`` for utilization - a straggler shows up as the
+        rank whose busy share stays high while the others idle.
+        """
+        out = []
+        for d in range(self.ngpu):
+            label = (
+                self.device_labels[d] if d < len(self.device_labels)
+                else f"dev{d}"
+            )
+            out.append((label, self.resource_busy_s.get(("dev", d), 0.0)))
+        return tuple(out)
+
     def breakdown(self) -> TimeBreakdown:
         """The makespan as a :class:`TimeBreakdown`, via the critical chain.
 
@@ -167,6 +188,7 @@ class EventSchedule:
             comm_intra_s=ci,
             comm_inter_s=cx,
             queue_s=chain.get("queue", 0.0),
+            device_busy_s=self.device_busy() if self.ngpu > 1 else (),
         )
 
 
@@ -180,6 +202,8 @@ def simulate_events(
     ngpu: Optional[int] = None,
     fabric_lanes: int = 1,
     cache: Optional[dict] = None,
+    device_scale=None,
+    device_labels: Tuple[str, ...] = (),
 ) -> EventSchedule:
     """Simulate a launch graph through the discrete-event engine.
 
@@ -191,6 +215,13 @@ def simulate_events(
     silently simulating the wrong cluster.  Durations come from
     :func:`~repro.sim.table.stream_costs`, so they are float-identical
     to the greedy scheduler's - the basis of the pinned-agreement tests.
+
+    Heterogeneous fleets pass ``device_scale`` (per-rank compute-duration
+    factors relative to the handle's backend; see
+    :func:`repro.sim.partition.fleet_scale`) and ``device_labels``
+    (per-rank names for the utilization report) - each rank's compute
+    launches then run at that rank's own speed while comm stays priced
+    by the link specs the partition embedded.
     """
     if streams < 1:
         raise InvalidParamsError(
@@ -220,10 +251,15 @@ def simulate_events(
         )
     if storage is None:
         storage = config.require_precision("event simulation")
+    if device_scale is not None and len(device_scale) != graph.ngpu:
+        raise InvalidParamsError(
+            f"{len(device_scale)} device_scale factors for a graph "
+            f"partitioned over {graph.ngpu} devices"
+        )
 
     table = graph.table()
     durs_arr, stage_seconds, launches, serial_s = stream_costs(
-        table, config, storage, cache
+        table, config, storage, cache, device_scale=device_scale
     )
     durs = durs_arr.tolist()
     kinds = table.kinds
@@ -373,4 +409,5 @@ def simulate_events(
         chain_seconds=chain,
         launches=launches,
         resource_busy_s=busy_s,
+        device_labels=tuple(device_labels),
     )

@@ -58,6 +58,22 @@ inter tier, as a ``*_inter`` comm kind), and panel broadcasts become a
 two-stage tree - an inter-node hop tree over ``ceil(log2 nodes)`` stages
 followed by the node-local tree.  ``nodes=1`` reproduces the
 single-node partition byte for byte.
+
+Heterogeneous fleets (a :class:`~repro.sim.topology.Topology` naming
+mixed device types) take the **cost-weighted** path: each device's shard
+of a sweep's tile rows is proportional to its predicted trailing-update
+throughput (:func:`~repro.sim.costmodel.update_rate` - the same
+cost-model arithmetic the analytic executors charge), rounded by
+:func:`shard_rows_weighted`'s largest-remainder rule so every device's
+row count stays within one row of its exact quota.  The weighted sharder
+returns an explicit per-device assignment (possibly empty) and the
+partitioner skips broadcast hops to shard-less devices, so the
+``ngpu > tile rows`` degenerate case no longer ships panels to devices
+with no rows to apply.  A *uniform* topology routes through the exact
+legacy code path (``Topology.uniform(dev, g)`` graphs are byte-identical
+to ``ngpu=g`` graphs), and weighted chunks stay contiguous and ascending
+within each sweep, so numeric replay remains bitwise identical to the
+monolithic driver.
 """
 
 from __future__ import annotations
@@ -66,7 +82,7 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CapacityError, ShapeError
-from .costmodel import FabricSpec, LinkSpec
+from .costmodel import FabricSpec, LinkSpec, update_rate
 from .graph import (
     LaunchGraph,
     LaunchNode,
@@ -76,14 +92,19 @@ from .graph import (
     rekey_batched,
 )
 from .schedule import TimeBreakdown
+from .topology import Topology, require_no_conflicts
 from .tracing import Stage
 
 __all__ = [
+    "check_fleet_capacity",
     "check_shard_capacity",
+    "fleet_scale",
+    "fleet_weights",
     "partition_graph",
     "price_partitioned",
     "price_partitioned_scalar",
     "shard_rows",
+    "shard_rows_weighted",
 ]
 
 #: Stage-1 kinds that run on the sweep owner's device (serial chain).
@@ -109,6 +130,93 @@ def shard_rows(lo: int, hi: int, ngpu: int) -> List[Tuple[int, int]]:
         chunks.append((start, stop))
         start = stop
     return chunks
+
+
+def shard_rows_weighted(
+    lo: int,
+    hi: int,
+    weights,
+) -> List[Tuple[int, int]]:
+    """Contiguous shards of ``[lo, hi)`` proportional to ``weights``.
+
+    Largest-remainder rounding: device ``d`` receives ``floor(rows *
+    w_d / W)`` rows plus at most one remainder row, remainder rows
+    granted in order of descending fractional part (ties broken by lower
+    device index).  Returns exactly ``len(weights)`` contiguous,
+    ascending ``(start, stop)`` chunks - *possibly empty* (``start ==
+    stop``), the explicit per-device assignment the comm planner needs
+    for the ``ngpu > rows`` degenerate case - that cover ``[lo, hi)``
+    with no gap or overlap.  Every device's row count is within one row
+    of its exact quota ``rows * w_d / W``, and equal weights reproduce
+    :func:`shard_rows`' boundaries exactly (padded with empty trailing
+    chunks when devices outnumber rows).
+    """
+    if not weights:
+        raise ShapeError("need at least one device weight")
+    if any(w <= 0 for w in weights):
+        raise ShapeError(
+            f"device weights must be positive throughputs, got {weights}"
+        )
+    rows = hi - lo
+    nparts = len(weights)
+    if rows <= 0:
+        return [(lo, lo)] * nparts
+    total_w = float(sum(weights))
+    quotas = [rows * float(w) / total_w for w in weights]
+    counts = [int(q) for q in quotas]
+    short = rows - sum(counts)
+    # grant the remainder rows by descending fractional part, ties by
+    # lower device index (sort is stable, so sorting on -frac suffices)
+    order = sorted(range(nparts), key=lambda d: -(quotas[d] - counts[d]))
+    for d in order[:short]:
+        counts[d] += 1
+    chunks = []
+    start = lo
+    for count in counts:
+        chunks.append((start, start + count))
+        start += count
+    return chunks
+
+
+def fleet_weights(topology: Topology, config) -> Tuple[float, ...]:
+    """Per-rank cost-model throughput weights of a fleet.
+
+    Each device's weight is its predicted trailing-update throughput in
+    tile rows per second (:func:`~repro.sim.costmodel.update_rate`,
+    priced with the handle's kernel parameters and precisions) - the
+    quantity :func:`shard_rows_weighted` makes shard sizes proportional
+    to.  Raises :class:`~repro.errors.UnsupportedBackendError` when a
+    fleet member does not support the configured storage precision.
+    """
+    from ..backends.backend import resolve_backend
+
+    storage = config.require_precision("fleet partitioning")
+    rates = []
+    for name in topology.devices:
+        be = resolve_backend(name)
+        compute = be.compute_precision(storage)
+        rates.append(
+            update_rate(be.device, config.params, storage, compute,
+                        config.coeffs)
+        )
+    return tuple(rates)
+
+
+def fleet_scale(topology: Topology, config) -> Tuple[float, ...]:
+    """Per-rank compute-duration scale factors relative to the handle.
+
+    The node table prices every launch against the handle's single
+    backend; a fleet rank running ``scale_d`` times slower than that
+    reference multiplies its compute durations by ``scale_d =
+    ref_rate / rate_d`` in the event simulation.  Always derived from
+    the *real* device rates (never from overridden shard weights), so
+    mis-sharded fleets are priced honestly.
+    """
+    be = config.backend
+    storage = config.require_precision("fleet pricing")
+    ref = update_rate(be.device, config.params, storage,
+                      be.compute_precision(storage), config.coeffs)
+    return tuple(ref / r for r in fleet_weights(topology, config))
 
 
 def check_shard_capacity(n: int, config, ngpu: int, nodes: int = 1) -> None:
@@ -147,31 +255,118 @@ def check_shard_capacity(n: int, config, ngpu: int, nodes: int = 1) -> None:
         )
 
 
+def check_fleet_capacity(
+    n: int,
+    config,
+    topology: Topology,
+    weights: Optional[Tuple[float, ...]] = None,
+) -> None:
+    """Raise :class:`CapacityError` if a rank's shard exceeds its memory.
+
+    The fleet analogue of :func:`check_shard_capacity`: every rank's
+    weighted tile-row quota (rounded up) plus one panel copy must fit
+    that rank's *own* device memory - a weighted partition deliberately
+    loads the fast devices heavier, so the uniform per-device bound does
+    not apply.  Uniform fleets of the handle's device delegate to
+    :func:`check_shard_capacity` exactly.
+    """
+    from ..core.tiling import ntiles
+
+    storage = config.require_precision("fleet prediction")
+    total = topology.ngpu
+    if topology.is_uniform and topology.device == config.backend.device.name:
+        check_shard_capacity(n, config, topology.per_node,
+                             nodes=topology.nodes)
+        return
+    if weights is None:
+        weights = fleet_weights(topology, config)
+    ts = config.params.tilesize
+    nbt = ntiles(n, ts)
+    npad = nbt * ts
+    total_w = float(sum(weights))
+    for rank, (spec, w) in enumerate(zip(topology.specs(), weights)):
+        shard_rows_n = math.ceil(nbt * float(w) / total_w) * ts
+        shard_bytes = (shard_rows_n * npad + npad * ts) * storage.sizeof * 1.25
+        if shard_bytes > spec.mem_bytes:
+            raise CapacityError(
+                f"{n}x{n} {storage.name} matrix sharded over {topology!r} "
+                f"needs {shard_bytes / 2**30:.1f} GiB on rank {rank} "
+                f"({spec.name}, {spec.mem_gb} GiB) "
+                f"(use more devices or a smaller matrix)"
+            )
+
+
 def partition_graph(
     graph: LaunchGraph,
-    ngpu: int,
+    ngpu: Optional[int] = None,
     link: Optional[LinkSpec] = None,
     *,
-    nodes: int = 1,
+    nodes: Optional[int] = None,
     fabric: Optional[FabricSpec] = None,
+    topology: Optional[Topology] = None,
+    config=None,
+    weights: Optional[Tuple[float, ...]] = None,
 ) -> LaunchGraph:
-    """Shard a replayable square launch graph across ``nodes x ngpu`` devices.
+    """Shard a replayable square launch graph across a device fleet.
 
     Returns a new :class:`LaunchGraph` with ``ngpu`` set to the *total*
     device count, per-node ``device`` assignments, per-device row-chunked
     update launches and explicit comm nodes priced against ``link``
     (single node) or the two tiers of ``fabric`` (cluster).
-    ``nodes=1, ngpu=1`` returns ``graph`` itself, untouched (structural
-    no-op).  Counted graphs cannot be partitioned (their folded nodes
-    carry no tile metadata); multi-stream graphs can - the column chunks
-    of the lookahead variant compose with the row chunks of the device
-    shards.
+
+    The fleet is named either by the legacy ``ngpu``/``nodes`` pair
+    (identical devices, balanced :func:`shard_rows` shards) or by a
+    ``topology=`` (mutually exclusive - passing both raises naming the
+    conflicting axes).  A uniform topology routes through the exact
+    legacy path; a heterogeneous one (or any explicit ``weights=``)
+    shards every sweep with :func:`shard_rows_weighted` so each rank's
+    rows are proportional to its cost-model throughput
+    (:func:`fleet_weights`, derived from ``config=`` when ``weights`` is
+    omitted) and trims broadcast hops to shard-less ranks.  ``config=``
+    also resolves ``link``/``fabric`` from the topology's bandwidth
+    overrides when the specs are not passed explicitly.
+
+    A single-device fleet returns ``graph`` itself, untouched
+    (structural no-op).  Counted graphs cannot be partitioned (their
+    folded nodes carry no tile metadata); multi-stream graphs can - the
+    column chunks of the lookahead variant compose with the row chunks
+    of the device shards.
     """
+    if topology is not None:
+        require_no_conflicts(topology, ngpu=ngpu, nodes=nodes)
+        nodes = topology.nodes
+        ngpu = topology.per_node
+        hetero = not topology.is_uniform or weights is not None
+        if hetero and weights is None:
+            if config is None:
+                raise ValueError(
+                    "heterogeneous topologies need config= (or explicit "
+                    "weights=) to derive cost-model shard weights"
+                )
+            weights = fleet_weights(topology, config)
+        if config is not None:
+            if nodes > 1 and fabric is None:
+                fabric = config.fabric_spec(topology.link_gbs,
+                                            topology.fabric_gbs)
+            elif nodes == 1 and link is None:
+                link = config.link_spec(topology.link_gbs)
+    else:
+        if weights is not None:
+            raise ValueError(
+                "weights= requires a topology= naming the fleet ranks"
+            )
+        if ngpu is None:
+            raise ShapeError("need a device count (ngpu=) or a topology=")
+        nodes = 1 if nodes is None else nodes
     if ngpu < 1:
         raise ShapeError(f"need at least one device, got {ngpu}")
     if nodes < 1:
         raise ShapeError(f"need at least one node, got {nodes}")
     total = nodes * ngpu
+    if weights is not None and len(weights) != total:
+        raise ShapeError(
+            f"{len(weights)} weights for a fleet of {total} devices"
+        )
     if total == 1:
         return graph
     if graph.counted:
@@ -200,7 +395,7 @@ def partition_graph(
         inter = None
     if graph.kind == "batched":
         return _partition_batched(graph, ngpu, intra, nodes=nodes,
-                                  inter=inter)
+                                  inter=inter, weights=weights)
     if graph.kind != "square":
         raise ValueError(
             f"only square and batched solve graphs can be partitioned, "
@@ -275,8 +470,52 @@ def partition_graph(
                                   device))
         return tuple(out)
 
-    def bcast(elems: int, deps, device: int) -> int:
-        """Tiered broadcast tree: inter-node stage feeds the local trees."""
+    def sweep_chunks(lo: int, hi: int, owner: int) -> List[Tuple[int, int, int]]:
+        """Per-device ``(device, start, stop)`` chunks of a sweep's rows.
+
+        The uniform path keeps :func:`shard_rows`' balanced chunks; the
+        weighted path rotates the weight vector so the owner's rank
+        receives the first chunk (preserving the legacy block-cyclic
+        structure at equal weights) and drops empty assignments.
+        """
+        if weights is None:
+            return [
+                ((owner + ci) % total, a, b)
+                for ci, (a, b) in enumerate(shard_rows(lo, hi, total))
+            ]
+        rot = [weights[(owner + i) % total] for i in range(total)]
+        return [
+            ((owner + ci) % total, a, b)
+            for ci, (a, b) in enumerate(shard_rows_weighted(lo, hi, rot))
+            if b > a
+        ]
+
+    def bcast(elems: int, deps, device: int,
+              peers: Optional[set] = None) -> int:
+        """Tiered broadcast tree: inter-node stage feeds the local trees.
+
+        ``peers`` (weighted path only) is the set of devices holding a
+        shard of the sweep; hops to shard-less devices are trimmed, and
+        when no other device holds a shard the broadcast is skipped
+        entirely (returns ``-1``).
+        """
+        if peers is not None:
+            if not any(p != device for p in peers):
+                return -1
+            per_node: Dict[int, int] = {}
+            for p in peers:
+                per_node[p // gpn] = per_node.get(p // gpn, 0) + 1
+            active_nodes = len(per_node)
+            max_local = max(per_node.values())
+            last = -1
+            if inter is not None and active_nodes > 1:
+                hops = max(1, math.ceil(math.log2(active_nodes)))
+                last = comm_inter("panel_bcast", elems, hops, deps, device)
+                deps = (last,)
+            if max_local > 1:
+                hops = max(1, math.ceil(math.log2(max_local)))
+                last = comm("panel_bcast", elems, hops, deps, device)
+            return last
         last = -1
         if inter is not None:
             last = comm_inter("panel_bcast", elems, inter_hops, deps, device)
@@ -284,6 +523,12 @@ def partition_graph(
         if gpn > 1:
             last = comm("panel_bcast", elems, intra_hops, deps, device)
         return last
+
+    def shard_peers(lo: int, hi: int, owner: int) -> Optional[set]:
+        """Active devices of a sweep (weighted path), or ``None`` (legacy)."""
+        if weights is None:
+            return None
+        return {dev for dev, _a, _b in sweep_chunks(lo, hi, owner)} | {owner}
 
     for node in src_nodes:
         kind = node.kind
@@ -311,7 +556,10 @@ def partition_graph(
                 # unfused sweeps pipeline per-row TSQRT outputs; model the
                 # panel shipment as one broadcast issued with the chain
                 elems = (r + 1) * (ts * ts + ts)
-                bcast_idx[sweep] = bcast(elems, (i,), owner)
+                b = bcast(elems, (i,), owner,
+                          shard_peers(row0 + 1, nbt, owner))
+                if b >= 0:
+                    bcast_idx[sweep] = b
         elif kind == "ftsqrt":
             lq, row0, k, rows, sweep = node.meta
             owner = k % total
@@ -321,7 +569,10 @@ def partition_graph(
             )
             r = rows[1] - rows[0]
             elems = (r + 1) * (ts * ts + ts)
-            bcast_idx[sweep] = bcast(elems, (i,), owner)
+            b = bcast(elems, (i,), owner,
+                      shard_peers(rows[0], rows[1], owner))
+            if b >= 0:
+                bcast_idx[sweep] = b
         elif kind == "tsqrt":
             lq, row0, k, l, sweep = node.meta
             i = add(
@@ -337,11 +588,10 @@ def partition_graph(
         elif kind == "tsmqr":
             lq, row0, k, l, c0t, off, cw, sweep = node.meta
             owner = k % total
-            chunks = shard_rows(row0 + 1, nbt, total)
             dev = owner
-            for ci, (a, b) in enumerate(chunks):
+            for cdev, a, b in sweep_chunks(row0 + 1, nbt, owner):
                 if a <= l < b:
-                    dev = (owner + ci) % total
+                    dev = cdev
                     break
             bc = bcast_idx.get(sweep)
             if dev != owner and bc is not None:
@@ -355,8 +605,7 @@ def partition_graph(
             owner = k % total
             bc = bcast_idx.get(sweep)
             parts: List[int] = []
-            for ci, (a, b) in enumerate(shard_rows(rows[0], rows[1], total)):
-                dev = (owner + ci) % total
+            for dev, a, b in sweep_chunks(rows[0], rows[1], owner):
                 cdeps = deps
                 if dev != owner and bc is not None:
                     cdeps = (*deps, bc)
@@ -418,6 +667,7 @@ def _partition_batched(
     link: LinkSpec,
     nodes: int = 1,
     inter: Optional[LinkSpec] = None,
+    weights: Optional[Tuple[float, ...]] = None,
 ) -> LaunchGraph:
     """Shard a batched launch graph round-robin across the devices.
 
@@ -435,6 +685,12 @@ def _partition_batched(
     the concurrent arrivals that queue on node 0's fabric lane in the
     event simulation).  Devices left without problems (``g > batch``)
     receive no nodes.
+
+    With ``weights`` (heterogeneous fleet), each aggregate range splits
+    into *contiguous* per-device problem runs sized by
+    :func:`shard_rows_weighted` instead of round-robin strides, so fast
+    devices solve proportionally more problems; empty assignments are
+    skipped just like the surplus-device case.
     """
     total = nodes * ngpu
     gpn = ngpu
@@ -452,8 +708,17 @@ def _partition_batched(
         start, stop, step = probs[1], probs[2], probs[3]
         old_count = len(problem_range(probs))
         per: Dict[int, int] = {}
-        for d in range(total):
-            dprobs = ("b", start + d * step, stop, step * total)
+        if weights is None:
+            assignments = [
+                ("b", start + d * step, stop, step * total)
+                for d in range(total)
+            ]
+        else:
+            assignments = [
+                ("b", start + clo * step, start + chi * step, step)
+                for clo, chi in shard_rows_weighted(0, old_count, weights)
+            ]
+        for d, dprobs in enumerate(assignments):
             bcount = len(problem_range(dprobs))
             if bcount == 0:
                 continue

@@ -22,7 +22,7 @@ scaling (:func:`stage1_launch_count` is the closed-form count).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..backends.backend import BackendLike
 from ..errors import ShapeError
@@ -54,6 +54,11 @@ class TimeBreakdown:
     resource-contention component of an event-simulated makespan (time
     the critical chain spent waiting for a busy stream / link / fabric
     lane; see :mod:`repro.sim.events`) — zero for analytic pricings.
+
+    Fleet predictions (event-simulated; heterogeneous or multi-device)
+    also carry ``device_busy_s``: per-rank ``(label, seconds)`` pairs of
+    compute-lane occupancy, so one ``format_breakdown`` call shows the
+    straggler A100 in an H100 fleet.  Empty for analytic pricings.
     """
 
     n: int
@@ -71,6 +76,7 @@ class TimeBreakdown:
     comm_intra_s: float = 0.0
     comm_inter_s: float = 0.0
     queue_s: float = 0.0
+    device_busy_s: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def total_s(self) -> float:
@@ -112,6 +118,20 @@ class TimeBreakdown:
         if self.queue_s > 0.0:
             out["queue"] = self.queue_s / t
         return out
+
+    def device_utilization(self) -> Dict[str, float]:
+        """Per-device busy share of the makespan (fleet predictions).
+
+        ``device_busy_s`` seconds divided by ``total_s``, keyed by the
+        rank label — 1.0 is a rank computing for the whole run, and a
+        wide spread means the partition left slow ranks idle (or
+        overloaded them).  Empty when the prediction carried no
+        per-device occupancy (analytic pricings).
+        """
+        t = self.total_s
+        if t <= 0.0 or not self.device_busy_s:
+            return {}
+        return {label: busy / t for label, busy in self.device_busy_s}
 
 
 def stage1_launch_count(nbtiles: int, fused: bool = True) -> int:

@@ -763,7 +763,8 @@ def _partitioned_batched_fields(table, sec, over, flo, byt):
     )
 
 
-def stream_costs(table: NodeTable, config, storage, cache=None):
+def stream_costs(table: NodeTable, config, storage, cache=None,
+                 device_scale=None):
     """Per-node durations plus the serial accounting of the scheduler.
 
     Array implementation of the pricing prologue of
@@ -772,8 +773,23 @@ def stream_costs(table: NodeTable, config, storage, cache=None):
     folds in node order, float-identical to the scalar loop.  The greedy
     list scheduling itself stays scalar - it is inherently sequential
     and cheap next to pricing.
+
+    ``device_scale`` (heterogeneous fleets; see
+    :func:`repro.sim.partition.fleet_scale`) multiplies each *compute*
+    launch's kernel seconds by its device's scale factor relative to the
+    handle's reference backend - comm and host-transfer nodes price
+    against their link specs and are not scaled, nor are launch
+    overheads (host-side).  ``None`` (or all-ones) is the identity.
     """
     sec, over, _flo, _byt = _node_costs(table, config, storage, cache)
+    if device_scale is not None:
+        scale_arr = np.asarray(device_scale, dtype=np.float64)
+        factor = scale_arr[table.device]
+        compute = ~np.isin(
+            table.stage_id,
+            [Stage.ALL.index(Stage.COMM), Stage.ALL.index(Stage.TRANSFER)],
+        )
+        sec = np.where(compute, sec * factor, sec)
     durs = sec + over
     stage = table.stage_id
     stage_seconds: Dict[str, float] = {}

@@ -60,15 +60,28 @@ from .sim.graph import AnalyticExecutor
 from .sim.params import KernelParams
 from .sim.schedule import TimeBreakdown, predict_resolved
 from .sim.timeline import StreamSchedule, schedule_streams
-from .core.batched import predict_batched_resolved, svdvals_batched_resolved
+from .core.batched import (
+    check_batched_capacity,
+    emit_batched_graph,
+    predict_batched_resolved,
+    svdvals_batched_resolved,
+)
 from .core.jacobi import jacobi_svdvals_resolved
 from .core.rectangular import emit_tallqr_graph, svdvals_rect_resolved
 from .core.svd import emit_svd_graph, svdvals_resolved
 from .core.tiling import ntiles
 from .core.vectors import svd_full_resolved
-from .sim.partition import check_shard_capacity, partition_graph
+from .sim.outofcore import rewrite_out_of_core
+from .sim.partition import (
+    check_fleet_capacity,
+    check_shard_capacity,
+    fleet_scale,
+    fleet_weights,
+    partition_graph,
+)
 from .sim.scaling import predict_multi_gpu_resolved, predict_out_of_core_resolved
 from .sim.table import bound_structure
+from .sim.topology import Topology, require_no_conflicts
 
 __all__ = ["Solver", "SvdPlan"]
 
@@ -274,6 +287,7 @@ class Solver:
         fabric_gbs: Optional[float] = None,
         streams: int = 1,
         oc_budget_gb: Optional[float] = None,
+        topology: Optional[Topology] = None,
     ) -> Union[TimeBreakdown, StreamSchedule, EventSchedule]:
         """Predict the simulated runtime of an ``n x n`` solve.
 
@@ -344,6 +358,25 @@ class Solver:
         :class:`~repro.errors.CapacityError` when the budget cannot hold
         even the minimum streaming window.  Requires a handle
         constructed with an explicit precision.
+
+        ``topology=`` (a :class:`repro.Topology`) is the fleet spelling
+        of the device axes and is mutually exclusive with
+        ``ngpu``/``nodes``/``link_gbs``/``fabric_gbs`` (passing both
+        raises naming the conflicting axes).  A *uniform* topology of
+        the handle's own device routes through exactly the legacy paths
+        above — graphs and prices are byte-identical to the ``ngpu=``
+        spelling.  A heterogeneous fleet (mixed device types, or a
+        uniform fleet of a different device than the handle's) takes the
+        cost-weighted path: every sweep's tile rows are sharded
+        proportionally to each rank's cost-model throughput
+        (:func:`repro.sim.partition.fleet_weights`), per-rank compute
+        durations are scaled to that rank's own speed, and the result
+        always comes from the discrete-event simulator (an
+        :class:`~repro.sim.events.EventSchedule` whose ``breakdown()``
+        carries per-device busy/utilization).  ``streams``,
+        ``out_of_core`` and ``batch`` compose with fleets the same way
+        they compose with ``ngpu=``; capacity is checked against each
+        rank's *own* memory (:func:`repro.sim.partition.check_fleet_capacity`).
         """
         # the method guard comes first so a Jacobi handle is told about
         # its real problem, not about whichever axis value it passed
@@ -351,6 +384,26 @@ class Solver:
             raise InvalidParamsError(
                 "prediction models the two-stage QR pipeline; construct "
                 "the Solver with method='qr'"
+            )
+        hetero = False
+        if topology is not None:
+            require_no_conflicts(
+                topology,
+                ngpu=ngpu if ngpu != 1 else None,
+                nodes=nodes if nodes != 1 else None,
+                fabric_gbs=fabric_gbs,
+                link_gbs=link_gbs,
+            )
+            # a uniform fleet of the handle's own device takes the legacy
+            # routing below (byte-identical by construction); anything
+            # else is priced by the fleet path after the shared guards
+            ngpu = topology.per_node
+            nodes = topology.nodes
+            link_gbs = topology.link_gbs
+            fabric_gbs = topology.fabric_gbs
+            hetero = (
+                not topology.is_uniform
+                or topology.device != self._config.backend.device.name
             )
         if ngpu < 1:
             raise InvalidParamsError(
@@ -387,6 +440,16 @@ class Solver:
                     f"got {oc_budget_gb}"
                 )
         storage = self._config.require_precision("predict")
+        if hetero:
+            return self._predict_fleet(
+                n,
+                topology,
+                batch=batch,
+                streams=streams,
+                out_of_core=out_of_core,
+                check_capacity=check_capacity,
+                oc_budget_gb=oc_budget_gb,
+            )
         if batch is not None:
             # the batched graph runs the same emit -> partition ->
             # rewrite -> price pipeline as every other axis
@@ -467,6 +530,95 @@ class Solver:
         )
         return schedule_streams(graph, config, storage, streams)
 
+    def _predict_fleet(
+        self,
+        n: int,
+        topology: Topology,
+        *,
+        batch: Optional[int] = None,
+        streams: int = 1,
+        out_of_core: bool = False,
+        check_capacity: bool = True,
+        oc_budget_gb: Optional[float] = None,
+    ) -> EventSchedule:
+        """Price a heterogeneous fleet through the discrete-event engine.
+
+        The one pipeline behind every fleet prediction: emit -> weighted
+        partition (:func:`repro.sim.partition.shard_rows_weighted`, one
+        shard per rank sized by its cost-model throughput) -> optional
+        out-of-core rewrite -> :func:`repro.sim.events.simulate_events`
+        with per-rank compute-duration scales and labels, so the
+        returned :class:`~repro.sim.events.EventSchedule` carries each
+        rank's busy occupancy.  Composed graphs are memoized per axes
+        through the bound-structure memo (the frozen topology is part of
+        the key), so tune's placement search re-emits nothing.
+        """
+        config = self._config
+        storage = config.require_precision("predict")
+        weights = fleet_weights(topology, config)
+        scale = fleet_scale(topology, config)
+        labels = tuple(
+            f"dev{i}:{d}" for i, d in enumerate(topology.devices)
+        )
+        budget_bytes = (
+            oc_budget_gb * 2**30 if oc_budget_gb is not None else None
+        )
+        if batch is not None:
+            if n < 1 or batch < 1:
+                raise ShapeError(
+                    f"need positive n and batch, got n={n}, batch={batch}"
+                )
+            if out_of_core:
+                raise InvalidParamsError(
+                    "out_of_core streaming and heterogeneous batched "
+                    "fleets do not compose yet; drop one of the two axes"
+                )
+            if check_capacity:
+                check_batched_capacity(n, batch, config, topology.ngpu)
+
+            def _compose_fleet_batch():
+                graph = emit_batched_graph(n, batch, config, streams=streams)
+                return partition_graph(
+                    graph, topology=topology, config=config, weights=weights
+                )
+
+            graph = bound_structure(
+                (
+                    "bat_fleet_graph", config, n, batch,
+                    min(streams, batch), topology,
+                ),
+                _compose_fleet_batch,
+            )
+            return simulate_events(
+                graph, config, storage, streams=streams,
+                device_scale=scale, device_labels=labels,
+            )
+        if check_capacity and not out_of_core:
+            check_fleet_capacity(n, config, topology, weights)
+
+        def _compose_fleet():
+            graph = emit_svd_graph(n, config, streams=streams)
+            graph = partition_graph(
+                graph, topology=topology, config=config, weights=weights
+            )
+            if out_of_core:
+                return rewrite_out_of_core(
+                    graph, config, storage, budget_bytes
+                )
+            return graph
+
+        graph = bound_structure(
+            (
+                "sq_fleet_graph", config, n, topology, streams,
+                out_of_core, budget_bytes,
+            ),
+            _compose_fleet,
+        )
+        return simulate_events(
+            graph, config, storage, streams=streams,
+            device_scale=scale, device_labels=labels,
+        )
+
     # ------------------------------------------------------------------ #
     # analytic autotuning
     # ------------------------------------------------------------------ #
@@ -477,6 +629,7 @@ class Solver:
         objective: str = "time",
         budget: int = 96,
         nodes: Optional[Tuple[int, ...]] = None,
+        topology: Optional[Topology] = None,
     ) -> "TunePlan":
         """Search every execution axis analytically for the fastest config.
 
@@ -500,11 +653,28 @@ class Solver:
         counts to consider (e.g. ``nodes=(1, 2, 4)``) and multi-node
         candidates are priced through the discrete-event simulator; the
         default searches single-node topologies only.
+
+        ``topology`` (a :class:`repro.Topology`; mutually exclusive with
+        ``nodes``) opts the search into the **placement axis** over a
+        heterogeneous fleet: besides the kernel/stream grid, candidates
+        cover which of the fleet's devices to use - the full
+        cost-weighted fleet plus every uniform per-device-type subset at
+        power-of-two counts - each priced through
+        :meth:`predict` with ``topology=``.  The homogeneous default
+        (the handle's own backend, ``ngpu=1``) is still evaluated first,
+        so the winner is never analytically slower than it; the winning
+        candidate's ``predict_kwargs()`` carry its topology.
         """
         if self._config.method != "qr":
             raise InvalidParamsError(
                 "tuning searches the two-stage QR pipeline; construct "
                 "the Solver with method='qr'"
+            )
+        if topology is not None and nodes is not None:
+            raise InvalidParamsError(
+                "topology= already fixes the fleet axes; also passing "
+                "nodes is ambiguous - drop the legacy spelling(s) or "
+                "the topology"
             )
         self._config.require_precision("tune")
         from .tuning.planner import tune_resolved
@@ -516,6 +686,7 @@ class Solver:
             objective=objective,
             budget=budget,
             nodes=nodes,
+            topology=topology,
         )
 
     # ------------------------------------------------------------------ #

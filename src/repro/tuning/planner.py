@@ -126,14 +126,19 @@ class TuneCandidate:
     out_of_core: bool = False
     oc_budget_gb: Optional[float] = None
     predicted_s: float = 0.0
+    #: The fleet placement of this candidate (None = uniform fleet of the
+    #: handle's backend, spelled through the legacy ngpu/nodes axes).
+    topology: Optional[object] = None
 
     def predict_kwargs(self) -> Dict[str, object]:
         """The :meth:`repro.Solver.predict` arguments of this candidate."""
-        kwargs: Dict[str, object] = {
-            "streams": self.streams, "ngpu": self.ngpu,
-        }
-        if self.nodes > 1:
-            kwargs["nodes"] = self.nodes
+        if self.topology is not None:
+            # the topology spelling replaces every legacy fleet axis
+            kwargs = {"streams": self.streams, "topology": self.topology}
+        else:
+            kwargs = {"streams": self.streams, "ngpu": self.ngpu}
+            if self.nodes > 1:
+                kwargs["nodes"] = self.nodes
         if self.out_of_core:
             kwargs["out_of_core"] = True
             if self.oc_budget_gb is not None:
@@ -239,6 +244,36 @@ def _coarse_params(base: KernelParams) -> List[KernelParams]:
     return out
 
 
+def _placement_candidates(topology) -> List[object]:
+    """The fleet placements the coarse stage explores.
+
+    Given a fleet, the placement axis covers: the full cost-weighted
+    fleet itself, and for every device type present a *uniform*
+    single-node subset at each power-of-two count up to (and including)
+    that type's availability - the "should I even use the slow devices?"
+    question, answered with :meth:`repro.Solver.predict` as the only
+    cost oracle.  Bandwidth overrides carry over: the full fleet keeps
+    its nodes/fabric, subsets inherit the intra-node ``link_gbs``.
+    """
+    from ..sim.topology import Topology
+
+    out: List[object] = [topology]
+    for dev, count in topology.counts():
+        sizes = set()
+        c = 1
+        while c <= count:
+            sizes.add(c)
+            c *= 2
+        sizes.add(count)
+        for size in sorted(sizes):
+            cand = Topology(
+                devices=(dev,) * size, link_gbs=topology.link_gbs
+            )
+            if cand not in out:
+                out.append(cand)
+    return out
+
+
 def _neighbor_params(p: KernelParams) -> List[KernelParams]:
     """The refinement neighborhood of one hyperparameter triple."""
     out: List[KernelParams] = []
@@ -263,6 +298,7 @@ def tune_resolved(
     ngpus: Sequence[int] = DEFAULT_NGPUS,
     streams: Sequence[int] = DEFAULT_STREAMS,
     nodes: Optional[Sequence[int]] = None,
+    topology=None,
 ) -> TunePlan:
     """Staged analytic search against a resolved :class:`SolveConfig`.
 
@@ -280,6 +316,14 @@ def tune_resolved(
     never fall back to out-of-core streaming.  Raises
     :class:`~repro.errors.CapacityError` when the problem cannot run on
     the backend even out-of-core.
+
+    ``topology`` (a :class:`repro.Topology`) adds the **placement
+    axis**: besides the homogeneous grid above, the coarse stage prices
+    every placement of :func:`_placement_candidates` (the full
+    cost-weighted fleet plus uniform per-device-type subsets) at each
+    stream count, and refinement keeps the leaders' placements.  The
+    homogeneous default stays the first evaluation, so the winner is
+    pinned never analytically slower than it.
     """
     from ..solver import Solver
 
@@ -318,7 +362,10 @@ def tune_resolved(
     # launch graph, so heterogeneous traffic reuses one plan per class
     global _TUNE_CACHE_HITS, _TUNE_CACHE_MISSES
     cls = shape_class(n, config)
-    cache_key = (config, cls, batch, objective, budget, ngpus, streams, nodes)
+    cache_key = (
+        config, cls, batch, objective, budget, ngpus, streams, nodes,
+        topology,
+    )
     hit = _TUNE_CACHE.get(cache_key)
     if hit is not None:
         _TUNE_CACHE_HITS += 1
@@ -330,18 +377,22 @@ def tune_resolved(
 
     def evaluate(
         params: KernelParams, s: int, g: int, nd: int = 1,
-        oc_fraction: Optional[float] = None,
+        oc_fraction: Optional[float] = None, topo=None,
     ) -> Optional[TuneCandidate]:
         """Price one candidate; in-core first, out-of-core fallback."""
-        key = (params, s, g, nd, oc_fraction)
+        key = (params, s, g, nd, oc_fraction, topo)
         if key in evaluated:
             return evaluated[key]
         if len(evaluated) >= budget:
             return None
         solver = Solver.from_config(config.with_(params=params))
-        kwargs: Dict[str, object] = {"streams": s, "ngpu": g}
-        if nd > 1:
-            kwargs["nodes"] = nd
+        if topo is not None:
+            kwargs: Dict[str, object] = {"streams": s, "topology": topo}
+            g, nd = topo.ngpu, topo.nodes
+        else:
+            kwargs = {"streams": s, "ngpu": g}
+            if nd > 1:
+                kwargs["nodes"] = nd
         if batch is not None:
             kwargs["batch"] = batch
         oc_budget_gb = None if oc_fraction is None else mem_gb * oc_fraction
@@ -350,14 +401,15 @@ def tune_resolved(
                 result = solver.predict(n, **kwargs)
                 cand = TuneCandidate(
                     params=params, streams=s, ngpu=g, nodes=nd,
-                    predicted_s=result.total_s,
+                    predicted_s=result.total_s, topology=topo,
                 )
             else:
                 raise CapacityError("explicit out-of-core candidate")
         except CapacityError:
-            if nd > 1:
-                # multi-node candidates do not compose with out-of-core
-                # streaming; a shard that overflows is simply not runnable
+            if nd > 1 or topo is not None:
+                # multi-node and fleet candidates do not join the
+                # out-of-core budget search; an overflowing placement is
+                # simply not runnable at this size
                 return None
             try:
                 result = solver.predict(
@@ -386,14 +438,22 @@ def tune_resolved(
     # quarter of the budget is reserved for the refinement stage, so a
     # coarse grid larger than the budget cannot starve it.
     coarse_cap = max(1, budget - budget // 4)
-    exec_axes = [
-        (s, g, nd) for nd in nodes for g in ngpus for s in streams
+    exec_axes: List[Tuple] = [
+        (s, g, nd, None) for nd in nodes for g in ngpus for s in streams
     ]
+    if topology is not None:
+        # the placement axis: the full weighted fleet plus uniform
+        # per-device-type subsets, each crossed with the stream counts
+        exec_axes += [
+            (s, 1, 1, topo)
+            for topo in _placement_candidates(topology)
+            for s in streams
+        ]
     for params in _coarse_params(config.params):
-        for s, g, nd in exec_axes:
+        for s, g, nd, topo in exec_axes:
             if len(evaluated) >= coarse_cap:
                 break
-            cand = evaluate(params, s, g, nd)
+            cand = evaluate(params, s, g, nd, topo=topo)
             if cand is not None and cand.out_of_core:
                 # the window budget becomes a search axis only when the
                 # candidate actually streams
@@ -404,7 +464,7 @@ def tune_resolved(
             break
 
     # refinement stage: the leaders' hyperparameter neighborhoods at
-    # their winning execution axes
+    # their winning execution axes (including their fleet placement)
     leaders = sorted(evaluated.values(), key=lambda c: c.predicted_s)[:3]
     for leader in leaders:
         for params in _neighbor_params(leader.params):
@@ -414,6 +474,7 @@ def tune_resolved(
                     None if leader.oc_budget_gb is None
                     else leader.oc_budget_gb / mem_gb
                 ) if leader.out_of_core else None,
+                topo=leader.topology,
             )
 
     ranked = tuple(sorted(evaluated.values(), key=lambda c: c.predicted_s))

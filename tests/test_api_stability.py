@@ -30,6 +30,7 @@ REPRO_ALL = [
     "Solver",
     "SvdPlan",
     "SvdService",
+    "Topology",
     "UnsupportedBackendError",
     "UnsupportedPrecisionError",
     "WindowOverflowError",
@@ -102,6 +103,7 @@ SIM_ALL = [
     "Stage",
     "StreamSchedule",
     "TimeBreakdown",
+    "Topology",
     "Tracer",
     "bidiag_solve_cost",
     "bound_table_stats",
@@ -110,6 +112,7 @@ SIM_ALL = [
     "clear_bound_tables",
     "comm_cost",
     "dump_json",
+    "fleet_weights",
     "kernel_summary",
     "panel_cost",
     "param_grid",
@@ -123,6 +126,7 @@ SIM_ALL = [
     "rewrite_out_of_core",
     "schedule_streams",
     "shard_rows",
+    "shard_rows_weighted",
     "simulate_events",
     "stage1_launch_count",
     "timeline_rows",

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro import Solver
+from repro import Solver, Topology
 from repro.core import emit_svd_graph
 from repro.core.svd import svdvals_resolved
 from repro.errors import CapacityError, InvalidParamsError, ShapeError
@@ -22,11 +22,15 @@ from repro.sim import (
     StreamSchedule,
     check_shard_capacity,
     comm_cost,
+    fleet_weights,
     partition_graph,
     price_partitioned,
     schedule_streams,
     shard_rows,
+    shard_rows_weighted,
+    simulate_events,
 )
+from repro.sim.partition import fleet_scale
 from repro.sim.graph import COMM_KINDS
 from repro.sim.scaling import multi_gpu_closed_form_resolved
 
@@ -55,6 +59,133 @@ class TestShardRows:
 
     def test_empty_range(self):
         assert shard_rows(5, 5, 4) == []
+
+
+class TestWeightedSharding:
+    def test_equal_weights_reproduce_shard_rows(self):
+        for lo, hi, g in ((0, 10, 3), (2, 17, 4), (1, 100, 7)):
+            assert shard_rows_weighted(lo, hi, (1.0,) * g) == \
+                shard_rows(lo, hi, g)
+
+    def test_surplus_devices_get_explicit_empty_chunks(self):
+        chunks = shard_rows_weighted(3, 5, (1.0, 1.0, 1.0, 1.0))
+        assert len(chunks) == 4
+        assert chunks == [(3, 4), (4, 5), (5, 5), (5, 5)]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ShapeError):
+            shard_rows_weighted(0, 4, ())
+        with pytest.raises(ShapeError):
+            shard_rows_weighted(0, 4, (1.0, -1.0))
+
+    def test_fleet_weights_order_match_devices(self, solver):
+        topo = Topology(devices=("h100", "a100", "h100"))
+        w = fleet_weights(topo, solver.config)
+        assert len(w) == 3 and w[0] == w[2] and w[0] > w[1]
+        scale = fleet_scale(topo, solver.config)
+        assert scale[0] == pytest.approx(1.0)  # handle's own device
+        assert scale[1] > 1.0  # a100 update rows run slower
+
+
+class TestTopologyPartition:
+    def test_uniform_topology_byte_identical_graph(self, solver):
+        cfg = solver.config
+        legacy = partition_graph(
+            emit_svd_graph(512, cfg), 4, cfg.link_spec()
+        )
+        topo = partition_graph(
+            emit_svd_graph(512, cfg),
+            topology=Topology.uniform("h100", 4), config=cfg,
+        )
+        assert topo.nodes == legacy.nodes
+        assert topo.ngpu == legacy.ngpu
+
+    def test_uniform_topology_identical_prediction(self, solver):
+        top = Topology.uniform("h100", 4)
+        assert (
+            solver.predict(4096, topology=top).total_s
+            == solver.predict(4096, ngpu=4).total_s
+        )
+        clustered = solver.predict(
+            8192, topology=Topology.uniform("h100", 4, nodes=2)
+        )
+        legacy = solver.predict(8192, ngpu=2, nodes=2)
+        assert clustered.makespan_s == legacy.makespan_s
+        assert clustered.launches == legacy.launches
+
+    def test_hetero_uses_every_weighted_device(self, solver):
+        cfg = solver.config
+        topo = Topology(devices=("h100", "h100", "a100", "a100"))
+        pg = partition_graph(
+            emit_svd_graph(512, cfg), topology=topo, config=cfg
+        )
+        assert {n.device for n in pg.nodes} == {0, 1, 2, 3}
+        np.testing.assert_array_equal(
+            svdvals_resolved(
+                np.random.default_rng(7).standard_normal((512, 512)), cfg,
+                graph=pg,
+            ),
+            solver.solve(
+                np.random.default_rng(7).standard_normal((512, 512))
+            ),
+        )
+
+    def test_surplus_ranks_trimmed_from_comm_plan(self, solver):
+        """Regression: a mixed fleet with more ranks than tile rows must
+        not broadcast panels to devices that hold no shard."""
+        cfg = solver.config
+        topo = Topology(
+            devices=("h100", "h100", "h100", "a100", "a100", "a100")
+        )
+        pg = partition_graph(
+            emit_svd_graph(64, cfg), topology=topo, config=cfg
+        )
+        used = {n.device for n in pg.nodes}
+        assert used < set(range(6))  # some ranks hold nothing
+        legacy = partition_graph(
+            emit_svd_graph(64, cfg), 6, cfg.link_spec()
+        )
+        assert (
+            pg.launch_counts().get("panel_bcast", 0)
+            <= legacy.launch_counts()["panel_bcast"]
+        )
+        A = np.random.default_rng(11).standard_normal((64, 64))
+        np.testing.assert_array_equal(
+            svdvals_resolved(A, cfg, graph=pg), solver.solve(A)
+        )
+
+    def test_weighted_beats_uniform_sharding_on_mixed_fleet(self, solver):
+        """The PR's acceptance criterion: cost-weighted shards finish
+        strictly earlier than uniform shards on an H100+A100 fleet."""
+        cfg = solver.config
+        topo = Topology(devices=("h100", "h100", "h100", "a100"))
+        scale = fleet_scale(topo, cfg)
+        weighted = simulate_events(
+            partition_graph(
+                emit_svd_graph(2048, cfg), topology=topo, config=cfg
+            ),
+            cfg, solver.precision, device_scale=scale,
+        )
+        uniform = simulate_events(
+            partition_graph(
+                emit_svd_graph(2048, cfg), topology=topo, config=cfg,
+                weights=(1.0,) * 4,
+            ),
+            cfg, solver.precision, device_scale=scale,
+        )
+        assert weighted.makespan_s < uniform.makespan_s
+
+    def test_topology_conflicts_with_legacy_axes(self, solver):
+        topo = Topology.uniform("h100", 2)
+        with pytest.raises(InvalidParamsError, match="ngpu"):
+            solver.predict(256, topology=topo, ngpu=2)
+        with pytest.raises(InvalidParamsError, match="link_gbs"):
+            solver.predict(256, topology=topo, link_gbs=50.0)
+        with pytest.raises(InvalidParamsError, match="ngpu"):
+            partition_graph(
+                emit_svd_graph(128, solver.config), 2,
+                topology=topo, config=solver.config,
+            )
 
 
 class TestLinkModel:
