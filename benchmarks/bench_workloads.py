@@ -1,0 +1,155 @@
+"""Workload diversity: the low-rank and eigensolver emitters, priced.
+
+The workloads PR routes two new front doors through the shared IR - the
+randomized low-rank SVD (:meth:`repro.Solver.svd_lowrank` /
+``predict(rank=)``) and the symmetric eigensolver
+(:meth:`repro.Solver.eigh` / ``predict(workload="eigh")``).  This bench
+records what the cost model says they buy:
+
+1. the low-rank speedup over the full square pipeline across sizes and
+   ranks - sketching must win, and win more at larger sizes, since the
+   expensive finishing solve runs at the sample width, not ``n``;
+2. the eigensolver's price relative to the square SVD across sizes -
+   near one, since the band reduction reuses the square pipeline's
+   tiles and only the tail differs;
+3. how both compose with the execution axes (multi-GPU, streams)
+   through the one ``predict`` front door.
+
+Run standalone with ``--quick`` for the CI smoke slice::
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py --quick
+"""
+
+import argparse
+
+import repro
+from repro.report import format_seconds, format_table
+
+SIZES = (2048, 8192)
+QUICK_SIZES = (2048,)
+RANKS = (16, 64)
+
+
+def lowrank_rows(solver: "repro.Solver", sizes) -> list:
+    """Low-rank vs full-pipeline price, one row per (n, rank)."""
+    rows = []
+    for n in sizes:
+        full = solver.predict(n, check_capacity=False)
+        for rank in RANKS:
+            lr = solver.predict(n, rank=rank, check_capacity=False)
+            assert lr.total_s < full.total_s, (
+                f"n={n} rank={rank}: sketching must beat the full pipeline"
+            )
+            rows.append(
+                [
+                    str(n),
+                    str(rank),
+                    format_seconds(lr.total_s).strip(),
+                    format_seconds(full.total_s).strip(),
+                    f"{full.total_s / lr.total_s:.1f}x",
+                ]
+            )
+    return rows
+
+
+def eigh_rows(solver: "repro.Solver", sizes) -> list:
+    """Eigensolver vs square-SVD price, one row per size."""
+    rows = []
+    for n in sizes:
+        eig = solver.predict(n, workload="eigh", check_capacity=False)
+        svd = solver.predict(n, check_capacity=False)
+        rows.append(
+            [
+                str(n),
+                format_seconds(eig.total_s).strip(),
+                format_seconds(svd.total_s).strip(),
+                f"{eig.total_s / svd.total_s:.3f}",
+            ]
+        )
+    return rows
+
+
+def composition_rows(solver: "repro.Solver", n: int) -> list:
+    """Both workloads through the multi-GPU / stream axes."""
+    rows = []
+    for label, kwargs in (
+        ("lowrank", {"rank": RANKS[-1]}),
+        ("eigh", {"workload": "eigh"}),
+    ):
+        single = solver.predict(n, check_capacity=False, **kwargs)
+        multi = solver.predict(
+            n, ngpu=4, streams=2, check_capacity=False, **kwargs
+        )
+        assert multi.makespan_s < single.total_s, (
+            f"{label}: four devices with streams must beat one device"
+        )
+        rows.append(
+            [
+                label,
+                str(n),
+                format_seconds(single.total_s).strip(),
+                format_seconds(multi.makespan_s).strip(),
+                f"{single.total_s / multi.makespan_s:.2f}x",
+            ]
+        )
+    return rows
+
+
+def run(quick: bool = False) -> str:
+    solver = repro.Solver(backend="h100", precision="fp32")
+    sizes = QUICK_SIZES if quick else SIZES
+    text = format_table(
+        ["n", "rank", "low-rank", "full svd", "speedup"],
+        lowrank_rows(solver, sizes),
+        title="randomized low-rank vs the full square pipeline (predicted)",
+    )
+    text += "\n\n" + format_table(
+        ["n", "eigh", "svd", "eigh/svd"],
+        eigh_rows(solver, sizes),
+        title="symmetric eigensolver vs square SVD (predicted)",
+    )
+    text += "\n\n" + format_table(
+        ["workload", "n", "1 gpu", "4 gpus x 2 streams", "speedup"],
+        composition_rows(solver, sizes[-1]),
+        title="workloads through the composition axes",
+    )
+    return text
+
+
+def metrics() -> dict:
+    """Deterministic predicted-time metrics for the CI regression gate."""
+    from conftest import get_solver
+
+    solver = get_solver()
+    lr = solver.predict(8192, rank=64, check_capacity=False)
+    full = solver.predict(8192, check_capacity=False)
+    eig = solver.predict(8192, workload="eigh", check_capacity=False)
+    eig4 = solver.predict(
+        8192, workload="eigh", ngpu=4, streams=2, check_capacity=False
+    )
+    return {
+        "lowrank/predicted_s@8192_r64": lr.total_s,
+        "lowrank/full_over_lowrank@8192_r64": full.total_s / lr.total_s,
+        "eigh/predicted_s@8192": eig.total_s,
+        "eigh/eigh_svd_ratio@8192": eig.total_s / full.total_s,
+        "eigh/fourgpu_makespan_s@8192": eig4.makespan_s,
+    }
+
+
+def test_workloads(benchmark, solver):
+    from conftest import save_result
+
+    text = run(quick=False)
+    save_result("workloads", text)
+    benchmark(lambda: solver.predict(8192, rank=64, check_capacity=False))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke slice: one small size, no results file",
+    )
+    args = parser.parse_args()
+    print(run(quick=args.quick))

@@ -40,6 +40,7 @@ BENCH_MODULES = (
     "bench_multi_gpu_scaling",
     "bench_out_of_core",
     "bench_serving",
+    "bench_workloads",
 )
 
 #: Fail when a metric grows by more than this fraction over its baseline.

@@ -58,6 +58,11 @@ class SolveConfig:
     method: str = "qr"
     jacobi_tol: Optional[float] = None
     jacobi_max_sweeps: int = 60
+    #: Extra sketch columns of the randomized low-rank workload: the
+    #: Gaussian sample is ``rank + oversample`` columns wide (clamped to
+    #: the matrix), trading a slightly larger small solve for sharper
+    #: singular-value estimates (HMT's p = 5-10 guidance).
+    oversample: int = 8
     #: Peer interconnect override for multi-GPU prediction; ``None``
     #: uses the backend's default link (NVLink / Infinity Fabric / ...).
     link: Optional[LinkSpec] = None
@@ -81,6 +86,7 @@ class SolveConfig:
         method: str = "qr",
         jacobi_tol: Optional[float] = None,
         jacobi_max_sweeps: int = 60,
+        oversample: int = 8,
         link: Optional[LinkSpec] = None,
         fabric: Optional[FabricSpec] = None,
     ) -> "SolveConfig":
@@ -118,6 +124,10 @@ class SolveConfig:
             raise InvalidParamsError(
                 f"jacobi_max_sweeps must be positive, got {jacobi_max_sweeps}"
             )
+        if oversample < 1:
+            raise InvalidParamsError(
+                f"oversample must be positive, got oversample={oversample}"
+            )
         if link is not None and not isinstance(link, LinkSpec):
             raise InvalidParamsError(
                 f"link must be a LinkSpec, got {type(link).__name__}"
@@ -154,6 +164,7 @@ class SolveConfig:
             method=method,
             jacobi_tol=jacobi_tol,
             jacobi_max_sweeps=int(jacobi_max_sweeps),
+            oversample=int(oversample),
             link=link,
             fabric=fabric,
         )

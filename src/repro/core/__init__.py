@@ -7,6 +7,14 @@ the numeric and analytic executors both consume.
 """
 
 from .banddiag import emit_band_reduction, getsmqrt, reduce_to_band
+from .eigh import bind_eigh_table, eigh_tridiagonal, emit_eigh_graph
+from .randomized import (
+    bind_lowrank_table,
+    emit_lowrank_graph,
+    lowrank_reference,
+    sketch_width,
+)
+from .workloads import WORKLOADS, WorkloadSpec, register_workload
 from .batched import (
     bind_batched_table,
     emit_batched_graph,
@@ -24,13 +32,23 @@ from .tiling import band_width, extract_band, is_upper_band, ntiles, pad_to_tile
 __all__ = [
     "SVDInfo",
     "SVDResult",
+    "WORKLOADS",
+    "WorkloadSpec",
     "bind_batched_table",
+    "bind_eigh_table",
+    "bind_lowrank_table",
     "bind_svd_table",
+    "eigh_tridiagonal",
     "emit_band_reduction",
     "emit_batched_graph",
     "emit_brd_chase",
+    "emit_eigh_graph",
+    "emit_lowrank_graph",
     "emit_svd_graph",
     "emit_tallqr_graph",
+    "lowrank_reference",
+    "register_workload",
+    "sketch_width",
     "predict_batched",
     "svdvals_batched",
     "jacobi_svdvals",

@@ -7,12 +7,18 @@ from .distributions import (
     logarithmic_sigma,
     quarter_circle_sigma,
 )
-from .generator import TestMatrix, haar_orthogonal, make_test_matrix
+from .generator import (
+    TestMatrix,
+    gaussian_sketch,
+    haar_orthogonal,
+    make_test_matrix,
+)
 
 __all__ = [
     "DISTRIBUTIONS",
     "TestMatrix",
     "arithmetic_sigma",
+    "gaussian_sketch",
     "get_distribution",
     "haar_orthogonal",
     "logarithmic_sigma",

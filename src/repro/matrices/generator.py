@@ -15,7 +15,7 @@ import numpy as np
 from ..precision import Precision, PrecisionLike, resolve_precision
 from .distributions import get_distribution
 
-__all__ = ["haar_orthogonal", "make_test_matrix", "TestMatrix"]
+__all__ = ["gaussian_sketch", "haar_orthogonal", "make_test_matrix", "TestMatrix"]
 
 
 def haar_orthogonal(
@@ -31,6 +31,31 @@ def haar_orthogonal(
     signs = np.sign(np.diagonal(R))
     signs[signs == 0.0] = 1.0
     return (Q * signs).astype(dtype)
+
+
+def gaussian_sketch(
+    n: int,
+    l: int,
+    seed: int = 0,
+    precision: PrecisionLike = Precision.FP64,
+) -> np.ndarray:
+    """Seeded Gaussian sketch matrix ``Omega (n x l)`` for randomized SVD.
+
+    The random stream is keyed by ``(seed, n, l)`` through one
+    ``SeedSequence``, so the sketch is bitwise reproducible per
+    ``(seed, shape, precision)`` — two solves with the same seed draw the
+    same Omega regardless of what else the process sampled before, and
+    *different* shapes under one seed draw independent streams instead of
+    a shared-prefix one.  Entries are standard normal, drawn in float64
+    and rounded once to the storage precision.
+    """
+    if n < 1 or l < 1:
+        raise ValueError(f"sketch shape must be positive, got ({n}, {l})")
+    prec = resolve_precision(precision)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed), spawn_key=(int(n), int(l)))
+    )
+    return rng.standard_normal((n, l)).astype(prec.dtype)
 
 
 @dataclass(frozen=True)

@@ -50,7 +50,9 @@ __all__ = [
     "LaunchCost",
     "LinkSpec",
     "comm_cost",
+    "gemm_cost",
     "panel_cost",
+    "trsm_cost",
     "update_cost",
     "update_rate",
     "brd_cost",
@@ -398,6 +400,74 @@ def update_rate(
             f"update_cost priced a non-positive duration for {spec.name}"
         )
     return 1.0 / cost.seconds
+
+
+# --------------------------------------------------------------------- #
+# dense BLAS-3 launches of the randomized low-rank workload
+# --------------------------------------------------------------------- #
+def gemm_cost(
+    spec: DeviceSpec,
+    storage: Precision,
+    compute: Precision,
+    m: int,
+    k: int,
+    n: int,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> LaunchCost:
+    """Cost of one dense matrix multiply ``C (m x n) = A (m x k) B (k x n)``.
+
+    The sketch and projection products of the randomized SVD workload are
+    plain library GEMMs, not tile kernels, so the model is a bare roofline:
+    ``2 m k n`` flops against the device's sustained compute efficiency,
+    and one read of each operand plus one write of the product against
+    sustained bandwidth (the same ``update_*`` efficiency constants; a
+    GEMM is the best-behaved BLAS-3 case those constants describe).
+    """
+    if m <= 0 or k <= 0 or n <= 0:
+        return ZERO_COST
+    flops = 2.0 * float(m) * k * n
+    nbytes = (float(m) * k + float(k) * n + float(m) * n) * storage.sizeof
+    eff_flops = spec.peak_flops(compute.sizeof) * coeffs.update_compute_eff
+    compute_s = flops / eff_flops
+    memory_s = nbytes / (spec.effective_bandwidth * coeffs.update_mem_eff)
+    return LaunchCost(
+        seconds=max(compute_s, memory_s),
+        flops=flops,
+        bytes=nbytes,
+        compute_seconds=compute_s,
+        memory_seconds=memory_s,
+    )
+
+
+def trsm_cost(
+    spec: DeviceSpec,
+    storage: Precision,
+    compute: Precision,
+    n: int,
+    l: int,
+    coeffs: CostCoefficients = DEFAULT_COEFFS,
+) -> LaunchCost:
+    """Cost of one triangular solve ``X (n x l) = B (n x l) R^-1 (l x l)``.
+
+    The randomized SVD driver recovers ``Q^T A`` as ``(A^T Y) R^-1``
+    without materializing ``Q``; this prices that right-side TRSM:
+    ``n l^2`` flops (half a GEMM of the same shape) with the triangular
+    factor read once and the right-hand side read and written once.
+    """
+    if n <= 0 or l <= 0:
+        return ZERO_COST
+    flops = float(n) * l * l
+    nbytes = (2.0 * float(n) * l + 0.5 * float(l) * l) * storage.sizeof
+    eff_flops = spec.peak_flops(compute.sizeof) * coeffs.update_compute_eff
+    compute_s = flops / eff_flops
+    memory_s = nbytes / (spec.effective_bandwidth * coeffs.update_mem_eff)
+    return LaunchCost(
+        seconds=max(compute_s, memory_s),
+        flops=flops,
+        bytes=nbytes,
+        compute_seconds=compute_s,
+        memory_seconds=memory_s,
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -61,7 +61,9 @@ from .costmodel import (
     bidiag_solve_cost,
     brd_cost,
     comm_cost,
+    gemm_cost,
     panel_cost,
+    trsm_cost,
     update_cost,
 )
 from .tracing import Stage
@@ -92,7 +94,13 @@ _NO_OVERHEAD_FAMILIES = ("solve", "solve_b", "comm")
 #: simulation fabric.  ``batch_gather`` is the single comm node of a
 #: partitioned *batched* graph: devices solve disjoint problem subsets
 #: independently, so the gather of their results is the only movement.
-COMM_KINDS = ("panel_bcast", "boundary_x", "band_gather", "batch_gather")
+#: ``sketch_gather`` collects the per-device row blocks (or partial
+#: products) of a partitioned low-rank graph's GEMM launches back to the
+#: root device, where the tall-QR and small dense SVD tail run.
+COMM_KINDS = (
+    "panel_bcast", "boundary_x", "band_gather", "batch_gather",
+    "sketch_gather",
+)
 
 #: Inter-node variants of the comm kinds, emitted by cluster-partitioned
 #: graphs (``nodes > 1``) for the traffic that crosses hosts.  Each
@@ -186,7 +194,7 @@ class LaunchGraph:
     """
 
     nodes: List[LaunchNode]
-    kind: str  # "square" | "tallqr" | "batched"
+    kind: str  # "square" | "tallqr" | "batched" | "lowrank"
     n: int  # true (unpadded) problem order / column count
     npad: int
     ts: int
@@ -343,6 +351,12 @@ def price_key(key: Tuple, config, storage, compute) -> LaunchCost:
             flops=one.flops * batch,
             compute_seconds=one.compute_seconds * batch,
         )
+    elif family == "gemm":
+        cost = gemm_cost(
+            spec, storage, compute, key[1], key[2], key[3], coeffs
+        )
+    elif family == "trsm":
+        cost = trsm_cost(spec, storage, compute, key[1], key[2], coeffs)
     elif family == "comm":
         # self-contained key: (elems, hops, link GB/s, link latency us) so
         # the same memo serves any link override (see partition_graph)
@@ -700,6 +714,20 @@ class NumericExecutor:
             d = self.d.astype(self.storage.dtype).astype(np.float64)
             e = self.e.astype(self.storage.dtype).astype(np.float64)
             self.values = svdvals_bidiag(d, e, method=self.stage3)
+        elif kind == "steig_cpu":
+            # symmetric-eigensolver tail: same band -> bidiagonal front as
+            # bdsqr_cpu, then the tridiagonal Gram finish (T = B^T B,
+            # Sturm bisection) instead of a bidiagonal SVD
+            np = self._np
+            self._run_stage2()
+            n = node.key[1]
+            if self.session is not None:
+                self.session.launch_solve(n, kernel=kind)
+            from ..core.eigh import steig_values
+
+            d = self.d.astype(self.storage.dtype).astype(np.float64)
+            e = self.e.astype(self.storage.dtype).astype(np.float64)
+            self.values = steig_values(d, e)
         elif kind in COMM_KINDS:
             # pure data movement: a numeric no-op on the simulation's
             # shared-memory fabric, but traced and priced like a launch

@@ -261,7 +261,7 @@ class WindowTracker:
             # of its problem subset, which must be in the window
             self._dev(node).require(problem_range(node.meta[0]), kind)
             return
-        if kind == "bdsqr_cpu":
+        if kind in ("bdsqr_cpu", "steig_cpu"):
             return  # CPU solve: no window tiles
         if kind == "brd_chase":
             self._dev(node).require_band(kind)
@@ -425,6 +425,128 @@ def _rewrite_batched(
 
 
 # --------------------------------------------------------------------- #
+# the low-rank rewriter: the input streams through the GEMMs row-wise
+# --------------------------------------------------------------------- #
+def _rewrite_lowrank(
+    graph: LaunchGraph, config, storage, budget_bytes: float
+) -> LaunchGraph:
+    """Rewrite a low-rank graph to stream the input through the window.
+
+    The randomized workload reads the ``m x n`` input exactly twice -
+    once per sketch GEMM - and everything downstream fits in a few
+    ``l``-wide panels, so the streaming plan is simple: the matrix stays
+    on the host, each GEMM splits into row chunks sized to half the
+    window (double-buffered: the prefetch of chunk ``j`` waits only on
+    chunk ``j - 2`` finishing, so transfers overlap the multiply), and
+    each chunk's ``h2d_tile`` load is priced on the host link like the
+    square rewriter's windows.  ``A`` is read-only, so no eviction
+    nodes are emitted - dropping a consumed chunk is free.  A graph
+    whose per-device GEMM working set already fits the budget is
+    returned unchanged.  Low-rank graphs are analytic-only, so the
+    rewrite carries the window capacity for introspection but is never
+    replayed under residency enforcement.
+    """
+    sizeof = storage.sizeof
+    ncols = graph.n
+    per_row = ncols * sizeof * _WORKING_FACTOR
+    need: Dict[int, int] = {}
+    for node in graph.nodes:
+        if node.kind == "gemm":
+            rows = node.key[node.meta[1]]
+            dev = node.device or 0
+            need[dev] = max(need.get(dev, 0), rows)
+    if not need or all(
+        rows * per_row <= budget_bytes for rows in need.values()
+    ):
+        return graph
+    rows_cap = int(budget_bytes // per_row)
+    if rows_cap < 2:
+        raise CapacityError(
+            f"out-of-core window of {budget_bytes / 2**30:.2f} GiB holds "
+            f"{rows_cap} rows of a {ncols}-column ({storage.name}) input; "
+            f"streaming needs at least 2 (one row per double buffer) - "
+            f"raise the budget or shrink the matrix"
+        )
+    per_buf = max(1, rows_cap // 2)
+
+    bw, lat = config.coeffs.pcie_gbs, config.coeffs.pcie_latency_us
+    new_nodes: List[LaunchNode] = []
+    mapped: List[Tuple[int, ...]] = []
+
+    def add(node: LaunchNode) -> int:
+        new_nodes.append(node)
+        return len(new_nodes) - 1
+
+    for node in graph.nodes:
+        seen: List[int] = []
+        for dep in node.deps:
+            for mi in mapped[dep]:
+                if mi not in seen:
+                    seen.append(mi)
+        deps = tuple(seen)
+        if node.kind != "gemm" or (
+            node.key[node.meta[1]] * per_row <= budget_bytes
+        ):
+            mapped.append((add(
+                LaunchNode(node.kind, node.stage, node.key, node.meta,
+                           deps, primary=node.primary, device=node.device)
+            ),))
+            continue
+        tag, axis, sweep = node.meta
+        rows = node.key[axis]
+        parts: List[int] = []
+        lo = 0
+        while lo < rows:
+            hi = min(lo + per_buf, rows)
+            # double buffer: this chunk's prefetch waits only on the
+            # chunk two slots back releasing its buffer
+            j = len(parts)
+            hdeps = (parts[j - 2],) if j >= 2 else ()
+            h = add(
+                LaunchNode(
+                    "h2d_tile", Stage.TRANSFER,
+                    ("comm", (hi - lo) * ncols, 1, bw, lat),
+                    ("lrwin", lo, hi), hdeps, device=node.device,
+                )
+            )
+            key = list(node.key)
+            key[axis] = hi - lo
+            cdeps = (*deps, h)
+            if parts:
+                # the projection GEMM accumulates into one partial sum;
+                # chunks serialize either way (one device, one stream)
+                cdeps = (*cdeps, parts[-1])
+            parts.append(
+                add(
+                    LaunchNode("gemm", node.stage, tuple(key),
+                               (tag, axis, sweep), cdeps,
+                               device=node.device)
+                )
+            )
+            lo = hi
+        mapped.append(tuple(parts))
+
+    return LaunchGraph(
+        nodes=new_nodes,
+        kind=graph.kind,
+        n=graph.n,
+        npad=graph.npad,
+        ts=graph.ts,
+        nbt=graph.nbt,
+        fused=graph.fused,
+        streams=graph.streams,
+        batch=graph.batch,
+        mpad=graph.mpad,
+        ngpu=graph.ngpu,
+        nnodes=graph.nnodes,
+        out_of_core=True,
+        oc_capacity_tiles=window_capacity_tiles(
+            budget_bytes, graph.ts, sizeof
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
 # the rewriter
 # --------------------------------------------------------------------- #
 class _Window:
@@ -489,10 +611,10 @@ def rewrite_out_of_core(
             "counted graphs fold launch runs without tile metadata and "
             "cannot be rewritten; emit with counted=False"
         )
-    if graph.kind not in ("square", "batched"):
+    if graph.kind not in ("square", "batched", "lowrank"):
         raise ValueError(
-            f"only square and batched solve graphs can be rewritten "
-            f"out-of-core, got {graph.kind!r}"
+            f"only square, batched and lowrank solve graphs can be "
+            f"rewritten out-of-core, got {graph.kind!r}"
         )
     if graph.out_of_core:
         raise ValueError("graph is already rewritten out-of-core")
@@ -510,6 +632,8 @@ def rewrite_out_of_core(
         )
     if graph.kind == "batched":
         return _rewrite_batched(graph, config, storage, budget_bytes)
+    if graph.kind == "lowrank":
+        return _rewrite_lowrank(graph, config, storage, budget_bytes)
     sizeof = storage.sizeof
     if _fits_in_core(graph, sizeof, budget_bytes):
         return graph
@@ -750,7 +874,7 @@ def rewrite_out_of_core(
                            device=node.device)
             ),))
             continue
-        if kind in ("brd_chase", "bdsqr_cpu"):
+        if kind in ("brd_chase", "bdsqr_cpu", "steig_cpu"):
             deps = mdeps(node.deps)
             if band_idx is None:
                 close_sweep()

@@ -396,10 +396,13 @@ def partition_graph(
     if graph.kind == "batched":
         return _partition_batched(graph, ngpu, intra, nodes=nodes,
                                   inter=inter, weights=weights)
+    if graph.kind == "lowrank":
+        return _partition_lowrank(graph, ngpu, intra, nodes=nodes,
+                                  inter=inter, weights=weights)
     if graph.kind != "square":
         raise ValueError(
-            f"only square and batched solve graphs can be partitioned, "
-            f"got {graph.kind!r}"
+            f"only square, batched and lowrank solve graphs can be "
+            f"partitioned, got {graph.kind!r}"
         )
 
     ts, nbt, npad = graph.ts, graph.nbt, graph.npad
@@ -652,6 +655,126 @@ def partition_graph(
         npad=npad,
         ts=ts,
         nbt=nbt,
+        fused=graph.fused,
+        streams=graph.streams,
+        batch=graph.batch,
+        mpad=graph.mpad,
+        ngpu=total,
+        nnodes=nodes,
+    )
+
+
+def _partition_lowrank(
+    graph: LaunchGraph,
+    ngpu: int,
+    link: LinkSpec,
+    nodes: int = 1,
+    inter: Optional[LinkSpec] = None,
+    weights: Optional[Tuple[float, ...]] = None,
+) -> LaunchGraph:
+    """Shard a low-rank launch graph's sketch GEMMs across the devices.
+
+    The randomized workload's parallel work is its two ``O(m n l)``
+    GEMMs against the full input; everything downstream operates on the
+    ``l``-wide sample and stays on device 0 (the paper's single-device
+    tail, like stages 2-3 of the square partition).  Each GEMM splits
+    into per-device row chunks over the ``A``-row axis its emitter meta
+    names (:func:`shard_rows`, or :func:`shard_rows_weighted` for a
+    heterogeneous fleet - the two GEMMs stream the same ``m`` rows, so
+    every device's chunks align and the projection GEMM depends on the
+    *same device's* sample chunk, not on the gather).  Every non-root
+    chunk ships its product to device 0 as an explicit ``sketch_gather``
+    node (``sketch_gather_inter`` across hosts): the sample GEMM sends
+    its ``rows x l`` output block, the projection GEMM its full
+    ``n x l`` partial sum.
+    """
+    total = nodes * ngpu
+    gpn = ngpu
+    bw, lat = link.bandwidth_gbs, link.latency_us
+    new_nodes: List[LaunchNode] = []
+    #: old node index -> indices of its partitioned replacements
+    mapped: List[Tuple[int, ...]] = []
+    #: old gemm index -> device -> its chunk's new index
+    gemm_chunks: Dict[int, Dict[int, int]] = {}
+
+    def add(node: LaunchNode) -> int:
+        new_nodes.append(node)
+        return len(new_nodes) - 1
+
+    for oi, node in enumerate(graph.nodes):
+        if node.kind == "gemm":
+            tag, axis, sweep = node.meta
+            rows = node.key[axis]
+            width = node.key[3]
+            if weights is None:
+                chunks = list(enumerate(shard_rows(0, rows, total)))
+            else:
+                chunks = [
+                    (d, (a, b))
+                    for d, (a, b) in enumerate(
+                        shard_rows_weighted(0, rows, weights)
+                    )
+                    if b > a
+                ]
+            parts: List[int] = []
+            per_dev: Dict[int, int] = {}
+            for dev, (a, b) in chunks:
+                cdeps: Tuple[int, ...] = ()
+                for dep in node.deps:
+                    prev = gemm_chunks.get(dep)
+                    if prev is not None and dev in prev:
+                        cdeps = (*cdeps, prev[dev])
+                    else:
+                        cdeps = (*cdeps, *mapped[dep])
+                key = list(node.key)
+                key[axis] = b - a
+                i = add(
+                    LaunchNode(
+                        "gemm", node.stage, tuple(key), (tag, axis, sweep),
+                        cdeps, device=dev,
+                    )
+                )
+                per_dev[dev] = i
+                if dev == 0:
+                    parts.append(i)
+                    continue
+                # ship the chunk's product to the root: the sample GEMM's
+                # output rows, or the projection GEMM's full partial sum
+                elems = ((b - a) if axis == 1 else node.key[1]) * width
+                if inter is not None and dev // gpn != 0:
+                    kind = "sketch_gather_inter"
+                    cbw, clat = inter.bandwidth_gbs, inter.latency_us
+                else:
+                    kind, cbw, clat = "sketch_gather", bw, lat
+                parts.append(
+                    add(
+                        LaunchNode(
+                            kind, Stage.COMM,
+                            ("comm", int(elems), 1, cbw, clat),
+                            deps=(i,), device=0,
+                        )
+                    )
+                )
+            gemm_chunks[oi] = per_dev
+            mapped.append(tuple(parts))
+            continue
+        seen: List[int] = []
+        for dep in node.deps:
+            for mi in mapped[dep]:
+                if mi not in seen:
+                    seen.append(mi)
+        mapped.append((add(
+            LaunchNode(node.kind, node.stage, node.key, node.meta,
+                       tuple(seen), primary=node.primary, device=0)
+        ),))
+
+    return LaunchGraph(
+        nodes=new_nodes,
+        kind=graph.kind,
+        n=graph.n,
+        npad=graph.npad,
+        ts=graph.ts,
+        nbt=graph.nbt,
         fused=graph.fused,
         streams=graph.streams,
         batch=graph.batch,

@@ -27,8 +27,10 @@ from .costmodel import (
     brd_cost,
     brd_launch_count,
     comm_cost,
+    gemm_cost,
     panel_cost,
     transfer_cost,
+    trsm_cost,
     update_cost,
 )
 from .params import KernelParams
@@ -167,8 +169,14 @@ class Session:
         for _ in range(launches - 1):
             self._record("brd_chase", Stage.BRD, LaunchCost(0.0), 1, band)
 
-    def launch_solve(self, n: int) -> None:
-        """Record the stage-3 CPU bidiagonal solve."""
+    def launch_solve(self, n: int, kernel: str = "bdsqr_cpu") -> None:
+        """Record the stage-3 CPU finish (bidiagonal SVD or tridiagonal eig).
+
+        ``kernel`` names the traced launch: ``"bdsqr_cpu"`` for the SVD
+        pipeline's bidiagonal solve, ``"steig_cpu"`` for the symmetric
+        eigensolver's tridiagonal finish.  Both share the ``("solve", n)``
+        cost key - the finish is an ``O(n^2)`` CPU call either way.
+        """
         cost = self._cached(
             ("solve", n),
             lambda: bidiag_solve_cost(
@@ -177,9 +185,33 @@ class Session:
         )
         self.tracer.record(
             LaunchRecord(
-                kernel="bdsqr_cpu", stage=Stage.SOLVE, cost=cost, overhead_s=0.0
+                kernel=kernel, stage=Stage.SOLVE, cost=cost, overhead_s=0.0
             )
         )
+
+    def launch_gemm(self, m: int, k: int, n: int) -> None:
+        """Record one dense GEMM launch of the low-rank workload."""
+        cost = self._cached(
+            ("gemm", m, k, n),
+            lambda: gemm_cost(
+                self.backend.device, self.storage, self.compute, m, k, n,
+                self.coeffs,
+            ),
+        )
+        grid = max(1, -(-n // self.params.colperblock))
+        self._record("gemm", Stage.UPDATE, cost, grid, self.params.colperblock)
+
+    def launch_trsm(self, n: int, l: int) -> None:
+        """Record one triangular-solve launch of the low-rank workload."""
+        cost = self._cached(
+            ("trsm", n, l),
+            lambda: trsm_cost(
+                self.backend.device, self.storage, self.compute, n, l,
+                self.coeffs,
+            ),
+        )
+        grid = max(1, -(-l // self.params.colperblock))
+        self._record("trsm", Stage.UPDATE, cost, grid, self.params.colperblock)
 
     def launch_comm(self, kernel: str, key: Tuple, stage: str = Stage.COMM) -> None:
         """Record a link transfer of a partitioned or out-of-core graph.

@@ -74,13 +74,15 @@ __all__ = [
 #: live in the ``ops`` row; the family code selects the vectorized pricer.
 FAMILIES = (
     "panel", "update", "brd", "solve", "panel_b", "brd_b", "solve_b", "comm",
+    "gemm", "trsm",
 )
 _FAM_ID = {name: i for i, name in enumerate(FAMILIES)}
 
 #: Families priced per unique key by the scalar oracle: stage-2/3 keys
-#: have O(1) multiplicity per graph, and their composites (three-way
-#: maxima, batch scalings) are cheaper to delegate than to mirror.
-_SCALAR_FAMILIES = ("brd", "solve", "brd_b", "solve_b")
+#: (and the low-rank workload's GEMM/TRSM launches) have O(1)
+#: multiplicity per graph, and their composites (three-way maxima, batch
+#: scalings) are cheaper to delegate than to mirror.
+_SCALAR_FAMILIES = ("brd", "solve", "brd_b", "solve_b", "gemm", "trsm")
 
 #: Family codes charged no launch overhead (CPU calls, link transfers) -
 #: mirrors ``repro.sim.graph._NO_OVERHEAD_FAMILIES``.
@@ -292,6 +294,10 @@ def _key_tuple(family: str, op) -> Tuple:
         return ("solve_b", int(op[0]), int(op[1]))
     if family == "comm":
         return ("comm", int(op[0]), int(op[1]), float(op[2]), float(op[3]))
+    if family == "gemm":
+        return ("gemm", int(op[0]), int(op[1]), int(op[2]))
+    if family == "trsm":
+        return ("trsm", int(op[0]), int(op[1]))
     raise ValueError(f"unknown launch-cost family {family!r}")
 
 

@@ -66,7 +66,13 @@ from .core.batched import (
     predict_batched_resolved,
     svdvals_batched_resolved,
 )
+from .core.eigh import eigh_resolved, emit_eigh_graph
 from .core.jacobi import jacobi_svdvals_resolved
+from .core.randomized import (
+    check_rank,
+    emit_lowrank_graph,
+    svd_lowrank_resolved,
+)
 from .core.rectangular import emit_tallqr_graph, svdvals_rect_resolved
 from .core.svd import emit_svd_graph, svdvals_resolved
 from .core.tiling import ntiles
@@ -78,6 +84,7 @@ from .sim.partition import (
     fleet_scale,
     fleet_weights,
     partition_graph,
+    price_partitioned,
 )
 from .sim.scaling import predict_multi_gpu_resolved, predict_out_of_core_resolved
 from .sim.table import bound_structure
@@ -110,6 +117,7 @@ class Solver:
         method: str = "qr",
         jacobi_tol: Optional[float] = None,
         jacobi_max_sweeps: int = 60,
+        oversample: int = 8,
         link: Optional[LinkSpec] = None,
         fabric: Optional[FabricSpec] = None,
     ) -> None:
@@ -125,6 +133,7 @@ class Solver:
             method=method,
             jacobi_tol=jacobi_tol,
             jacobi_max_sweeps=jacobi_max_sweeps,
+            oversample=oversample,
             link=link,
             fabric=fabric,
         )
@@ -230,6 +239,50 @@ class Solver:
             )
         return svd_full_resolved(A, self._config, return_info=return_info)
 
+    def svd_lowrank(
+        self,
+        A: np.ndarray,
+        rank: int,
+        seed: int = 0,
+        return_info: bool = False,
+    ):
+        """Randomized top-``rank`` singular values of a 2-D matrix.
+
+        Halko-Martinsson-Tropp randomized range finding composed from the
+        pipeline's own kernels: a seeded Gaussian sketch of
+        ``rank + oversample`` columns (the handle's ``oversample`` axis),
+        the tall-QR chain, and the square pipeline on the projected
+        factor (see :mod:`repro.core.randomized`).  Returns descending
+        estimates bounded above by the exact truncated singular values;
+        ``seed`` keys the sketch, so repeated calls are bitwise
+        reproducible.  Wide inputs run on the transpose.
+        """
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "Solver.svd_lowrank composes the two-stage QR pipeline; "
+                "construct the Solver with method='qr'"
+            )
+        return svd_lowrank_resolved(
+            A, rank, self._config, seed=seed, return_info=return_info
+        )
+
+    def eigh(self, A: np.ndarray, return_info: bool = False):
+        """Eigenvalues of a symmetric matrix, descending.
+
+        Rides the SVD pipeline via an exact power-of-two shift: for
+        ``c >= 2 ||A||`` the shifted ``A + c I`` is positive definite, so
+        its singular values are its eigenvalues and ``lambda(A) =
+        sigma(A + c I) - c`` exactly (see :mod:`repro.core.eigh`).  The
+        launch schedule differs from :meth:`solve` only in the final CPU
+        node (tridiagonal Sturm bisection instead of the bidiagonal SVD).
+        """
+        if self._config.method != "qr":
+            raise InvalidParamsError(
+                "Solver.eigh rides the two-stage QR pipeline; construct "
+                "the Solver with method='qr'"
+            )
+        return eigh_resolved(A, self._config, return_info=return_info)
+
     def _solve_jacobi(self, A, return_info=False):
         if return_info:
             raise InvalidParamsError(
@@ -288,6 +341,8 @@ class Solver:
         streams: int = 1,
         oc_budget_gb: Optional[float] = None,
         topology: Optional[Topology] = None,
+        rank: Optional[int] = None,
+        workload: str = "svd",
     ) -> Union[TimeBreakdown, StreamSchedule, EventSchedule]:
         """Predict the simulated runtime of an ``n x n`` solve.
 
@@ -377,6 +432,16 @@ class Solver:
         ``out_of_core`` and ``batch`` compose with fleets the same way
         they compose with ``ngpu=``; capacity is checked against each
         rank's *own* memory (:func:`repro.sim.partition.check_fleet_capacity`).
+
+        ``workload=`` selects which emitter feeds the pipeline:
+        ``"svd"`` (default, everything above), ``"eigh"`` (the symmetric
+        eigensolver graph - same sweeps, ``steig_cpu`` tail) or
+        ``"lowrank"`` (the randomized low-rank graph; requires
+        ``rank=``).  Passing ``rank=`` alone implies
+        ``workload="lowrank"``.  Both new workloads run the same emit ->
+        partition -> rewrite -> price pipeline, so ``streams``, ``ngpu``,
+        ``nodes``, ``topology`` and ``out_of_core`` all compose;
+        ``batch`` stays an SVD-only axis.
         """
         # the method guard comes first so a Jacobi handle is told about
         # its real problem, not about whichever axis value it passed
@@ -385,6 +450,33 @@ class Solver:
                 "prediction models the two-stage QR pipeline; construct "
                 "the Solver with method='qr'"
             )
+        if workload not in ("svd", "eigh", "lowrank"):
+            raise InvalidParamsError(
+                f"unknown workload {workload!r}; expected one of "
+                f"('svd', 'eigh', 'lowrank')"
+            )
+        if rank is not None:
+            if workload == "eigh":
+                raise InvalidParamsError(
+                    f"rank={rank} selects the randomized low-rank workload "
+                    f"and does not compose with workload='eigh'; drop one "
+                    f"of the two axes"
+                )
+            workload = "lowrank"
+        elif workload == "lowrank":
+            raise InvalidParamsError(
+                "workload='lowrank' predicts the randomized low-rank "
+                "pipeline and requires rank= (the number of singular "
+                "values to estimate)"
+            )
+        if workload != "svd" and batch is not None:
+            raise InvalidParamsError(
+                f"batch runs the batched SVD workload and does not "
+                f"compose with workload={workload!r}; got batch={batch} "
+                f"(drop one of the two axes)"
+            )
+        if workload == "lowrank":
+            check_rank(rank, n, n)
         hetero = False
         if topology is not None:
             require_no_conflicts(
@@ -440,6 +532,21 @@ class Solver:
                     f"got {oc_budget_gb}"
                 )
         storage = self._config.require_precision("predict")
+        if workload != "svd":
+            return self._predict_workload(
+                n,
+                workload,
+                rank,
+                ngpu=ngpu,
+                nodes=nodes,
+                streams=streams,
+                out_of_core=out_of_core,
+                check_capacity=check_capacity,
+                link_gbs=link_gbs,
+                fabric_gbs=fabric_gbs,
+                oc_budget_gb=oc_budget_gb,
+                topology=topology if hetero else None,
+            )
         if hetero:
             return self._predict_fleet(
                 n,
@@ -618,6 +725,127 @@ class Solver:
             graph, config, storage, streams=streams,
             device_scale=scale, device_labels=labels,
         )
+
+    def _predict_workload(
+        self,
+        n: int,
+        workload: str,
+        rank: Optional[int],
+        *,
+        ngpu: int = 1,
+        nodes: int = 1,
+        streams: int = 1,
+        out_of_core: bool = False,
+        check_capacity: bool = True,
+        link_gbs: Optional[float] = None,
+        fabric_gbs: Optional[float] = None,
+        oc_budget_gb: Optional[float] = None,
+        topology: Optional[Topology] = None,
+    ) -> Union[TimeBreakdown, StreamSchedule, EventSchedule]:
+        """Route a non-SVD workload through the shared graph pipeline.
+
+        One pipeline for both new emitters: emit (the eigensolver or
+        low-rank graph) -> partition (uniform peers, two-tier cluster or
+        cost-weighted fleet) -> optional out-of-core rewrite -> price
+        (analytic for the serial graph, greedy scheduler for streams,
+        discrete-event simulator for clusters and fleets).  Composed
+        graphs are memoized per axes exactly like the SVD paths.
+        ``topology`` is only passed here when heterogeneous (uniform
+        fleets of the handle's device were already folded into ``ngpu``
+        / ``nodes`` by :meth:`predict`).
+        """
+        config = self._config
+        storage = config.require_precision("predict")
+        budget_bytes = (
+            oc_budget_gb * 2**30 if oc_budget_gb is not None else None
+        )
+        if workload == "eigh":
+            tag = "eigh"
+            shape_key: Tuple = (n,)
+
+            def emit():
+                return emit_eigh_graph(n, config, streams=streams)
+        else:
+            tag = "lr"
+            shape_key = (n, rank)
+
+            def emit():
+                return emit_lowrank_graph(n, n, rank, config, streams=streams)
+
+        if topology is not None:
+            weights = fleet_weights(topology, config)
+            scale = fleet_scale(topology, config)
+            labels = tuple(
+                f"dev{i}:{d}" for i, d in enumerate(topology.devices)
+            )
+            if check_capacity and not out_of_core and workload == "eigh":
+                check_fleet_capacity(n, config, topology, weights)
+
+            def _compose_fleet():
+                graph = partition_graph(
+                    emit(), topology=topology, config=config, weights=weights
+                )
+                if out_of_core:
+                    return rewrite_out_of_core(
+                        graph, config, storage, budget_bytes
+                    )
+                return graph
+
+            graph = bound_structure(
+                (
+                    tag + "_fleet_graph", config, *shape_key, topology,
+                    streams, out_of_core, budget_bytes,
+                ),
+                _compose_fleet,
+            )
+            return simulate_events(
+                graph, config, storage, streams=streams,
+                device_scale=scale, device_labels=labels,
+            )
+        if check_capacity and not out_of_core:
+            # the eigensolver shard has the square footprint; low-rank
+            # shards are strictly smaller than the full input, so only
+            # the single-device case is checked against the whole matrix
+            if workload == "eigh" and ngpu * nodes > 1:
+                check_shard_capacity(n, config, ngpu, nodes=nodes)
+            elif ngpu * nodes == 1:
+                config.backend.check_capacity(n, storage)
+        if nodes > 1:
+            fabric = config.fabric_spec(link_gbs, fabric_gbs)
+            graph = bound_structure(
+                (
+                    tag + "_cluster_graph", config, *shape_key, nodes,
+                    ngpu, streams, fabric,
+                ),
+                lambda: partition_graph(
+                    emit(), ngpu, nodes=nodes, fabric=fabric
+                ),
+            )
+            return simulate_events(graph, config, storage, streams=streams)
+        link = config.link_spec(link_gbs) if ngpu > 1 else None
+
+        def _compose():
+            graph = emit()
+            if ngpu > 1:
+                graph = partition_graph(graph, ngpu, link)
+            if out_of_core:
+                graph = rewrite_out_of_core(
+                    graph, config, storage, budget_bytes
+                )
+            return graph
+
+        graph = bound_structure(
+            (
+                tag + "_graph", config, *shape_key, ngpu, streams,
+                out_of_core, link, budget_bytes,
+            ),
+            _compose,
+        )
+        if streams > 1:
+            return schedule_streams(graph, config, storage, streams)
+        if ngpu > 1:
+            return price_partitioned(graph, config, storage)
+        return AnalyticExecutor(config, storage).run(graph)
 
     # ------------------------------------------------------------------ #
     # analytic autotuning

@@ -52,14 +52,21 @@ REPRO_ALL = [
 CORE_ALL = [
     "SVDInfo",
     "SVDResult",
+    "WORKLOADS",
+    "WorkloadSpec",
     "band_to_bidiagonal",
     "band_width",
     "bind_batched_table",
+    "bind_eigh_table",
+    "bind_lowrank_table",
     "bind_svd_table",
     "bisect",
+    "eigh_tridiagonal",
     "emit_band_reduction",
     "emit_batched_graph",
     "emit_brd_chase",
+    "emit_eigh_graph",
+    "emit_lowrank_graph",
     "emit_svd_graph",
     "emit_tallqr_graph",
     "extract_band",
@@ -68,12 +75,15 @@ CORE_ALL = [
     "golub_kahan",
     "is_upper_band",
     "jacobi_svdvals",
+    "lowrank_reference",
     "ntiles",
     "pad_to_tiles",
     "predict_batched",
     "qr_reduce_tall",
     "reduce_to_band",
+    "register_workload",
     "singular_2x2",
+    "sketch_width",
     "svd_full",
     "svdvals",
     "svdvals_batched",
